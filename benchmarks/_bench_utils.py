@@ -1,0 +1,28 @@
+"""Small helpers shared by the benchmark modules.
+
+The regenerated paper tables are collected in memory and printed by the
+``pytest_terminal_summary`` hook in ``conftest.py`` (terminal-summary output is
+not swallowed by pytest's capture), so a plain
+
+    pytest benchmarks/ --benchmark-only | tee bench_output.txt
+
+records every table alongside the pytest-benchmark timing report.
+"""
+
+from __future__ import annotations
+
+__all__ = ["emit", "collected_tables"]
+
+#: Tables emitted during the session, in emission order.
+_TABLES: list[str] = []
+
+
+def emit(text: str) -> None:
+    """Record one paper-style table (and echo it for ``pytest -s`` runs)."""
+    _TABLES.append(text)
+    print("\n" + text + "\n")
+
+
+def collected_tables() -> list[str]:
+    """All tables emitted so far in this session."""
+    return list(_TABLES)

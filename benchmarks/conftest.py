@@ -1,0 +1,131 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper's
+evaluation (Section VI).  The synthetic datasets are scaled down so the whole
+suite completes in minutes on a laptop; set the environment variable
+``REPRO_BENCH_SCALE`` (default ``1.0``) to a larger value to enlarge every
+dataset proportionally, e.g. ``REPRO_BENCH_SCALE=4 pytest benchmarks/
+--benchmark-only`` for a longer, more faithful run.
+
+Absolute runtimes will not match the paper (different hardware, Python-level
+baselines); the claims being reproduced are *relative*: which method wins, by
+roughly what factor, and how the curves move with thresholds, data size and the
+MI threshold.  EXPERIMENTS.md records the side-by-side comparison.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro import MiningConfig
+from repro.datasets import make_dataset
+from repro.timeseries.sequences import SequenceDatabase
+from repro.timeseries.symbolic import SymbolicDatabase
+
+#: Global scale multiplier applied to all benchmark datasets.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@dataclass
+class BenchDataset:
+    """A transformed benchmark dataset (both databases plus metadata)."""
+
+    name: str
+    symbolic_db: SymbolicDatabase
+    sequence_db: SequenceDatabase
+
+    @property
+    def n_sequences(self) -> int:
+        return len(self.sequence_db)
+
+    @property
+    def n_events(self) -> int:
+        return len(self.sequence_db.event_keys())
+
+
+def _build(name: str, scale: float, attribute_fraction: float, seed: int) -> BenchDataset:
+    dataset = make_dataset(
+        name,
+        scale=min(scale * BENCH_SCALE, 1.0),
+        attribute_fraction=attribute_fraction,
+        seed=seed,
+    )
+    symbolic_db, sequence_db = dataset.transform()
+    return BenchDataset(name=name, symbolic_db=symbolic_db, sequence_db=sequence_db)
+
+
+@pytest.fixture(scope="session")
+def nist_bench() -> BenchDataset:
+    """Scaled-down stand-in for the NIST dataset.
+
+    Large enough that pattern mining dominates the one-off NMI computation
+    (otherwise the A-HTPGM vs E-HTPGM comparison is just measuring overhead).
+    """
+    return _build("nist", scale=0.03, attribute_fraction=0.3, seed=101)
+
+
+@pytest.fixture(scope="session")
+def ukdale_bench() -> BenchDataset:
+    """Scaled-down stand-in for the UK-DALE dataset."""
+    return _build("ukdale", scale=0.02, attribute_fraction=0.25, seed=102)
+
+
+@pytest.fixture(scope="session")
+def dataport_bench() -> BenchDataset:
+    """Scaled-down stand-in for the DataPort dataset."""
+    return _build("dataport", scale=0.025, attribute_fraction=0.6, seed=103)
+
+
+@pytest.fixture(scope="session")
+def smartcity_bench() -> BenchDataset:
+    """Scaled-down stand-in for the NYC Smart City dataset."""
+    return _build("smartcity", scale=0.02, attribute_fraction=0.2, seed=104)
+
+
+@pytest.fixture(scope="session")
+def energy_config() -> MiningConfig:
+    """Mining parameters used for the energy datasets throughout the benchmarks."""
+    return MiningConfig(
+        min_support=0.4,
+        min_confidence=0.4,
+        epsilon=1.0,
+        min_overlap=5.0,
+        tmax=360.0,
+        max_pattern_size=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def smartcity_config() -> MiningConfig:
+    """Mining parameters used for the smart-city dataset throughout the benchmarks."""
+    return MiningConfig(
+        min_support=0.4,
+        min_confidence=0.4,
+        epsilon=1.0,
+        min_overlap=30.0,
+        tmax=720.0,
+        max_pattern_size=3,
+    )
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):  # noqa: ARG001
+    """Print every regenerated paper table at the end of the benchmark run.
+
+    Terminal-summary output bypasses pytest's output capture, so the tables end
+    up in ``bench_output.txt`` when the run is ``tee``'d, next to the
+    pytest-benchmark timing report.
+    """
+    from _bench_utils import collected_tables
+
+    tables = collected_tables()
+    if not tables:
+        return
+    terminalreporter.write_sep("=", "regenerated paper tables and figures")
+    for table in tables:
+        terminalreporter.write_line("")
+        for line in table.splitlines():
+            terminalreporter.write_line(line)
+    terminalreporter.write_line("")

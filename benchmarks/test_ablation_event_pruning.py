@@ -1,0 +1,105 @@
+"""Ablation — event-level MI pruning (the paper's future-work extension).
+
+DESIGN.md calls out event-level pruning as a design-choice ablation: the paper
+prunes whole time series via NMI (A-HTPGM) and leaves finer, event-level
+pruning as future work.  This benchmark compares three configurations on the
+same data and thresholds:
+
+* ``E-HTPGM`` — exact, no MI pruning;
+* ``A-HTPGM (series)`` — the paper's series-level correlation graph;
+* ``A-HTPGM (series+event)`` — series-level plus the event-level occurrence
+  indicator filter from :mod:`repro.core.event_pruning`.
+
+Expected shape: each additional filter can only shrink the mined pattern set
+(containment is asserted) and reduces level-2 candidate work, trading accuracy
+for speed exactly like the series-level filter does in Fig. 9.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import AHTPGM, HTPGM
+from repro.evaluation import accuracy, format_table
+
+from _bench_utils import emit
+
+SERIES_DENSITY = 0.6
+EVENT_MI = 0.05
+
+
+@pytest.mark.parametrize(
+    "dataset_fixture,config_fixture",
+    [("nist_bench", "energy_config"), ("smartcity_bench", "smartcity_config")],
+)
+def test_event_level_pruning_ablation(dataset_fixture, config_fixture, benchmark, request):
+    bench = request.getfixturevalue(dataset_fixture)
+    config = request.getfixturevalue(config_fixture).with_thresholds(
+        min_support=0.3, min_confidence=0.3
+    )
+
+    def run():
+        records = {}
+
+        start = time.perf_counter()
+        exact_miner = HTPGM(config)
+        exact = exact_miner.mine(bench.sequence_db)
+        records["E-HTPGM"] = (
+            time.perf_counter() - start,
+            exact,
+            exact_miner.statistics_.candidates_generated.get(2, 0),
+        )
+
+        start = time.perf_counter()
+        series_miner = AHTPGM(config, graph_density=SERIES_DENSITY)
+        series = series_miner.mine(bench.sequence_db, bench.symbolic_db)
+        records["A-HTPGM (series)"] = (
+            time.perf_counter() - start,
+            series,
+            series_miner.miner_.statistics_.candidates_generated.get(2, 0),
+        )
+
+        start = time.perf_counter()
+        both_miner = AHTPGM(
+            config, graph_density=SERIES_DENSITY, event_mi_threshold=EVENT_MI
+        )
+        both = both_miner.mine(bench.sequence_db, bench.symbolic_db)
+        records["A-HTPGM (series+event)"] = (
+            time.perf_counter() - start,
+            both,
+            both_miner.miner_.statistics_.candidates_generated.get(2, 0),
+        )
+        return records
+
+    records = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    exact_result = records["E-HTPGM"][1]
+    rows = []
+    for name, (runtime, result, candidates) in records.items():
+        rows.append(
+            [
+                name,
+                f"{runtime:.3f}",
+                candidates,
+                len(result),
+                f"{100 * accuracy(exact_result, result):.1f}",
+            ]
+        )
+    emit(
+        format_table(
+            ["configuration", "runtime (s)", "L2 candidates", "#patterns", "accuracy (%)"],
+            rows,
+            title=f"Ablation ({bench.name}): event-level MI pruning extension",
+        )
+    )
+
+    exact_patterns = exact_result.pattern_set()
+    series_patterns = records["A-HTPGM (series)"][1].pattern_set()
+    both_patterns = records["A-HTPGM (series+event)"][1].pattern_set()
+    # Each additional filter only removes patterns, never invents them.
+    assert both_patterns <= series_patterns <= exact_patterns
+    # Candidate work shrinks monotonically with each filter.
+    assert records["A-HTPGM (series+event)"][2] <= records["A-HTPGM (series)"][2]
+    assert records["A-HTPGM (series)"][2] <= records["E-HTPGM"][2]

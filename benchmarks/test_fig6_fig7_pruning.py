@@ -1,0 +1,122 @@
+"""Figures 6 & 7 — effectiveness of the pruning techniques in E-HTPGM.
+
+The paper compares four configurations of the exact miner — (NoPrune),
+(Apriori), (Trans) and (All) — while varying the data size, the confidence and
+the support, on NIST (Fig. 6) and Smart City (Fig. 7).  The claims reproduced
+here: all configurations mine the same patterns, (All) is the fastest / does
+the least candidate work, and each individual pruning family already helps over
+(NoPrune).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import HTPGM, PruningMode
+from repro.evaluation import format_series
+
+from _bench_utils import emit
+
+MODES = (PruningMode.NONE, PruningMode.APRIORI, PruningMode.TRANSITIVITY, PruningMode.ALL)
+MODE_LABELS = {
+    PruningMode.NONE: "(NoPrune)",
+    PruningMode.APRIORI: "(Apriori)",
+    PruningMode.TRANSITIVITY: "(Trans)",
+    PruningMode.ALL: "(All)",
+}
+
+
+def _ablation(sequence_db, config):
+    """Runtime, candidate count and pattern set per pruning mode."""
+    timings, candidates, pattern_sets = {}, {}, {}
+    for mode in MODES:
+        miner = HTPGM(config.with_pruning(mode))
+        start = time.perf_counter()
+        result = miner.mine(sequence_db)
+        timings[mode] = time.perf_counter() - start
+        candidates[mode] = miner.statistics_.total_candidates + sum(
+            miner.statistics_.relation_checks.values()
+        )
+        pattern_sets[mode] = result.pattern_set()
+    return timings, candidates, pattern_sets
+
+
+@pytest.mark.parametrize(
+    "figure,dataset_fixture,config_fixture",
+    [("Fig. 6", "nist_bench", "energy_config"), ("Fig. 7", "smartcity_bench", "smartcity_config")],
+)
+@pytest.mark.parametrize("axis", ["data", "confidence", "support"])
+def test_pruning_ablation(figure, dataset_fixture, config_fixture, axis, benchmark, request):
+    bench = request.getfixturevalue(dataset_fixture)
+    base_config = request.getfixturevalue(config_fixture)
+
+    if axis == "data":
+        points = [0.5, 1.0]
+        configs = [(f"{p:.0%} data", base_config, p) for p in points]
+    elif axis == "confidence":
+        points = [0.4, 0.6, 0.8]
+        configs = [
+            (f"conf={p:.0%}", base_config.with_thresholds(min_confidence=p), 1.0)
+            for p in points
+        ]
+    else:
+        points = [0.4, 0.6, 0.8]
+        configs = [
+            (f"supp={p:.0%}", base_config.with_thresholds(min_support=p), 1.0)
+            for p in points
+        ]
+
+    benchmark.group = f"{figure} pruning ablation ({axis})"
+
+    def run():
+        rows = {MODE_LABELS[mode]: [] for mode in MODES}
+        labels = []
+        for label, config, fraction in configs:
+            database = bench.sequence_db.subset(fraction) if fraction < 1.0 else bench.sequence_db
+            timings, _candidates, pattern_sets = _ablation(database, config)
+            reference = pattern_sets[PruningMode.ALL]
+            assert all(pattern_sets[mode] == reference for mode in MODES)
+            labels.append(label)
+            for mode in MODES:
+                rows[MODE_LABELS[mode]].append(round(timings[mode], 3))
+        return labels, rows
+
+    labels, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        format_series(
+            axis,
+            labels,
+            rows,
+            title=f"{figure} ({bench.name}): E-HTPGM runtime (s) per pruning mode",
+        )
+    )
+
+
+@pytest.mark.parametrize(
+    "figure,dataset_fixture,config_fixture",
+    [("Fig. 6", "nist_bench", "energy_config"), ("Fig. 7", "smartcity_bench", "smartcity_config")],
+)
+def test_pruning_reduces_candidate_work(
+    figure, dataset_fixture, config_fixture, benchmark, request
+):
+    """(All) performs the least candidate/relation work; (NoPrune) the most."""
+    bench = request.getfixturevalue(dataset_fixture)
+    config = request.getfixturevalue(config_fixture)
+
+    def run():
+        _timings, candidates, pattern_sets = _ablation(bench.sequence_db, config)
+        return candidates, pattern_sets
+
+    candidates, pattern_sets = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        f"{figure} ({bench.name}): candidate+relation checks per mode: "
+        + ", ".join(f"{MODE_LABELS[m]}={candidates[m]}" for m in MODES)
+    )
+    assert candidates[PruningMode.ALL] <= candidates[PruningMode.APRIORI]
+    assert candidates[PruningMode.ALL] <= candidates[PruningMode.TRANSITIVITY]
+    assert candidates[PruningMode.APRIORI] <= candidates[PruningMode.NONE]
+    assert candidates[PruningMode.TRANSITIVITY] <= candidates[PruningMode.NONE]
+    reference = pattern_sets[PruningMode.ALL]
+    assert all(pattern_sets[mode] == reference for mode in MODES)

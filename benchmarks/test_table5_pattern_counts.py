@@ -1,0 +1,100 @@
+"""Table V — number of extracted patterns per dataset and (σ, δ) threshold grid.
+
+The paper reports the number of frequent temporal patterns for every dataset
+over a support/confidence grid; counts grow steeply as either threshold drops,
+and the Smart City dataset produces the most patterns because its variables
+have more states.  This benchmark regenerates the same matrix (on the
+scaled-down synthetic datasets) and asserts the two qualitative claims:
+monotonicity in the thresholds and the Smart City dataset producing the
+richest pattern set per variable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HTPGM
+from repro.evaluation import format_matrix
+
+from _bench_utils import emit
+
+#: Threshold grid (fractions); the paper uses 20-80%, we use the upper part of
+#: that range so the scaled-down datasets stay fast.
+GRID = (0.4, 0.6, 0.8)
+
+
+def _count_matrix(bench, config):
+    counts = {}
+    for support in GRID:
+        for confidence in GRID:
+            result = HTPGM(
+                config.with_thresholds(min_support=support, min_confidence=confidence)
+            ).mine(bench.sequence_db)
+            counts[(f"supp={support:.0%}", f"conf={confidence:.0%}")] = len(result)
+    return counts
+
+
+@pytest.mark.parametrize(
+    "dataset_fixture,config_fixture",
+    [
+        ("nist_bench", "energy_config"),
+        ("ukdale_bench", "energy_config"),
+        ("dataport_bench", "energy_config"),
+        ("smartcity_bench", "smartcity_config"),
+    ],
+)
+def test_table5_pattern_counts(dataset_fixture, config_fixture, benchmark, request):
+    bench = request.getfixturevalue(dataset_fixture)
+    config = request.getfixturevalue(config_fixture)
+
+    counts = benchmark.pedantic(
+        lambda: _count_matrix(bench, config), rounds=1, iterations=1
+    )
+
+    emit(
+        format_matrix(
+            [f"supp={s:.0%}" for s in GRID],
+            [f"conf={c:.0%}" for c in GRID],
+            counts,
+            title=(
+                f"Table V ({bench.name}): #patterns, {bench.n_sequences} sequences, "
+                f"{bench.n_events} events"
+            ),
+            corner="sigma \\ delta",
+        )
+    )
+
+    # Counts are monotonically non-increasing in both thresholds (paper Table V).
+    for i, support in enumerate(GRID):
+        for j, confidence in enumerate(GRID):
+            here = counts[(f"supp={support:.0%}", f"conf={confidence:.0%}")]
+            if i + 1 < len(GRID):
+                stricter = counts[(f"supp={GRID[i+1]:.0%}", f"conf={confidence:.0%}")]
+                assert stricter <= here
+            if j + 1 < len(GRID):
+                stricter = counts[(f"supp={support:.0%}", f"conf={GRID[j+1]:.0%}")]
+                assert stricter <= here
+    # The loosest cell yields at least as many patterns as the strictest one.
+    assert counts[(f"supp={GRID[0]:.0%}", f"conf={GRID[0]:.0%}")] >= counts[
+        (f"supp={GRID[-1]:.0%}", f"conf={GRID[-1]:.0%}")
+    ]
+
+
+def test_table5_smartcity_is_richest_per_variable(
+    nist_bench, smartcity_bench, energy_config, smartcity_config, benchmark
+):
+    """Smart City generates more patterns per variable thanks to multi-state alphabets."""
+
+    def run():
+        nist = HTPGM(energy_config).mine(nist_bench.sequence_db)
+        city = HTPGM(smartcity_config).mine(smartcity_bench.sequence_db)
+        return len(nist), len(city)
+
+    nist_count, city_count = benchmark.pedantic(run, rounds=1, iterations=1)
+    nist_events = nist_bench.n_events
+    city_events = smartcity_bench.n_events
+    emit(
+        f"Table V summary: NIST {nist_count} patterns / {nist_events} events, "
+        f"Smart City {city_count} patterns / {city_events} events"
+    )
+    assert city_count / max(city_events, 1) >= nist_count / max(nist_events, 1)

@@ -1,0 +1,108 @@
+"""repro — reproduction of "Efficient Temporal Pattern Mining in Big Time Series
+Using Mutual Information" (Ho, Ho & Pedersen, VLDB 2021).
+
+The package implements the complete FTPMfTS process: the data-transformation
+substrate (:mod:`repro.timeseries`), the exact miner E-HTPGM and the
+MI-based approximate miner A-HTPGM (:mod:`repro.core`), the three published
+baselines (:mod:`repro.baselines`), synthetic stand-ins for the paper's
+datasets (:mod:`repro.datasets`) and the experiment harness
+(:mod:`repro.evaluation`).
+
+Quickstart::
+
+    from repro import mine_time_series
+    from repro.datasets import make_dataset
+
+    dataset = make_dataset("nist", scale=0.1, seed=7)
+    result = mine_time_series(
+        dataset.series_set, window_length=120.0, min_support=0.4, min_confidence=0.4
+    )
+    for mined in result.top(5):
+        print(mined.describe())
+"""
+
+from .core import (
+    AHTPGM,
+    HTPGM,
+    Bitmap,
+    CorrelationGraph,
+    EventKey,
+    MinedPattern,
+    MiningConfig,
+    MiningResult,
+    MiningStatistics,
+    PruningMode,
+    Relation,
+    TemporalPattern,
+    build_correlation_graph,
+    confidence_lower_bound,
+    mi_threshold_for_density,
+    normalized_mutual_information,
+)
+from .exceptions import (
+    ConfigurationError,
+    DataError,
+    MiningError,
+    ReproError,
+    SymbolizationError,
+)
+from .pipeline import FTPMfTS, mine_time_series
+from .timeseries import (
+    EventInstance,
+    QuantileSymbolizer,
+    SequenceDatabase,
+    SplitConfig,
+    SymbolicDatabase,
+    SymbolicSeries,
+    TemporalSequence,
+    ThresholdSymbolizer,
+    TimeSeries,
+    TimeSeriesSet,
+    split_into_sequences,
+    symbolize_set,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # pipeline
+    "FTPMfTS",
+    "mine_time_series",
+    # core
+    "HTPGM",
+    "AHTPGM",
+    "MiningConfig",
+    "PruningMode",
+    "MiningResult",
+    "MinedPattern",
+    "MiningStatistics",
+    "TemporalPattern",
+    "Relation",
+    "EventKey",
+    "Bitmap",
+    "CorrelationGraph",
+    "build_correlation_graph",
+    "mi_threshold_for_density",
+    "normalized_mutual_information",
+    "confidence_lower_bound",
+    # time series
+    "TimeSeries",
+    "TimeSeriesSet",
+    "ThresholdSymbolizer",
+    "QuantileSymbolizer",
+    "symbolize_set",
+    "SymbolicSeries",
+    "SymbolicDatabase",
+    "EventInstance",
+    "TemporalSequence",
+    "SequenceDatabase",
+    "SplitConfig",
+    "split_into_sequences",
+    # exceptions
+    "ReproError",
+    "ConfigurationError",
+    "DataError",
+    "SymbolizationError",
+    "MiningError",
+]

@@ -1,0 +1,28 @@
+"""Post-processing and summarisation of mined pattern sets."""
+
+from .filtering import (
+    closed_patterns,
+    filter_patterns,
+    maximal_patterns,
+    non_redundant_patterns,
+)
+from .summarize import (
+    SeriesInteraction,
+    relation_distribution,
+    series_interactions,
+    summary_report,
+)
+from .timeline import render_occurrence, render_sequence
+
+__all__ = [
+    "maximal_patterns",
+    "closed_patterns",
+    "non_redundant_patterns",
+    "filter_patterns",
+    "SeriesInteraction",
+    "relation_distribution",
+    "series_interactions",
+    "summary_report",
+    "render_sequence",
+    "render_occurrence",
+]

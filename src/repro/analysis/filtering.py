@@ -1,0 +1,133 @@
+"""Post-processing filters over mined pattern sets.
+
+Frequent-pattern mining is notoriously verbose: every sub-pattern of a frequent
+pattern is itself frequent (Lemma 2), so the raw output contains a lot of
+redundancy.  These helpers condense a :class:`~repro.core.result.MiningResult`
+for human consumption:
+
+* :func:`maximal_patterns` — patterns with no frequent super-pattern at all;
+* :func:`closed_patterns` — patterns with no super-pattern of the *same*
+  support (the classic lossless condensation);
+* :func:`non_redundant_patterns` — drops sub-patterns whose measures are
+  (nearly) implied by a kept super-pattern;
+* :func:`filter_patterns` — predicate / measure-based selection.
+
+All functions return plain lists of :class:`MinedPattern`; the original result
+object is never mutated.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from ..core.events import EventKey
+from ..core.result import MinedPattern, MiningResult
+
+__all__ = [
+    "maximal_patterns",
+    "closed_patterns",
+    "non_redundant_patterns",
+    "filter_patterns",
+]
+
+
+def _super_patterns(
+    mined: MinedPattern, candidates: Sequence[MinedPattern]
+) -> list[MinedPattern]:
+    """Candidates that strictly contain ``mined``'s pattern."""
+    return [
+        other
+        for other in candidates
+        if other.size > mined.size and other.pattern.contains_pattern(mined.pattern)
+    ]
+
+
+def maximal_patterns(result: MiningResult) -> list[MinedPattern]:
+    """Patterns that are not contained in any other frequent pattern.
+
+    The maximal set is the most aggressive condensation: supports of the
+    dropped sub-patterns cannot be recovered from it, but it gives the shortest
+    human-readable summary of "what structures exist".
+    """
+    by_size_desc = sorted(result.patterns, key=lambda m: -m.size)
+    maximal: list[MinedPattern] = []
+    for mined in by_size_desc:
+        if not any(
+            kept.pattern.contains_pattern(mined.pattern) for kept in maximal
+        ):
+            maximal.append(mined)
+    return sorted(maximal, key=lambda m: (m.size, -m.support, m.pattern.describe()))
+
+
+def closed_patterns(result: MiningResult) -> list[MinedPattern]:
+    """Patterns with no super-pattern of identical support (lossless condensation).
+
+    Every dropped pattern has a kept super-pattern with the same support, so
+    the full support information of the original result can be reconstructed.
+    """
+    patterns = result.patterns
+    closed = []
+    for mined in patterns:
+        supers = _super_patterns(mined, patterns)
+        if not any(other.support == mined.support for other in supers):
+            closed.append(mined)
+    return closed
+
+
+def non_redundant_patterns(
+    result: MiningResult, confidence_slack: float = 0.05
+) -> list[MinedPattern]:
+    """Drop sub-patterns whose measures are implied by a kept super-pattern.
+
+    A pattern is redundant when some super-pattern has the same support and a
+    confidence within ``confidence_slack``: the longer pattern says strictly
+    more about the data at (almost) no loss of reliability.
+    """
+    if confidence_slack < 0:
+        raise ValueError("confidence_slack must be non-negative")
+    patterns = result.patterns
+    kept = []
+    for mined in patterns:
+        supers = _super_patterns(mined, patterns)
+        redundant = any(
+            other.support == mined.support
+            and other.confidence >= mined.confidence - confidence_slack
+            for other in supers
+        )
+        if not redundant:
+            kept.append(mined)
+    return kept
+
+
+def filter_patterns(
+    result: MiningResult,
+    min_support: float | None = None,
+    min_confidence: float | None = None,
+    min_size: int | None = None,
+    max_size: int | None = None,
+    involving: Sequence[EventKey] | None = None,
+    predicate: Callable[[MinedPattern], bool] | None = None,
+) -> list[MinedPattern]:
+    """Select patterns by measures, size, participating events, or a predicate.
+
+    ``min_support`` is a *relative* support threshold (fraction of sequences),
+    matching how thresholds are expressed everywhere else in the library.
+    ``involving`` keeps patterns containing at least one of the given events.
+    """
+    selected = []
+    wanted = set(involving) if involving is not None else None
+    for mined in result.patterns:
+        if min_support is not None and mined.relative_support < min_support:
+            continue
+        if min_confidence is not None and mined.confidence < min_confidence:
+            continue
+        if min_size is not None and mined.size < min_size:
+            continue
+        if max_size is not None and mined.size > max_size:
+            continue
+        if wanted is not None and not wanted.intersection(mined.pattern.events):
+            continue
+        if predicate is not None and not predicate(mined):
+            continue
+        selected.append(mined)
+    return selected

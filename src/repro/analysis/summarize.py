@@ -1,0 +1,99 @@
+"""Aggregated views over a mining result.
+
+Once thousands of patterns are mined, the first questions are usually
+"which series interact with which?", "which relation types dominate?" and
+"what does this pattern look like on a timeline?".  This module answers the
+first two; :mod:`repro.analysis.timeline` renders the third.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from ..core.relations import Relation
+from ..core.result import MiningResult
+
+__all__ = ["SeriesInteraction", "relation_distribution", "series_interactions", "summary_report"]
+
+
+@dataclass(frozen=True)
+class SeriesInteraction:
+    """Co-occurrence of two series inside mined patterns."""
+
+    series_a: str
+    series_b: str
+    n_patterns: int
+    max_confidence: float
+    max_support: int
+
+
+def relation_distribution(result: MiningResult) -> dict[Relation, int]:
+    """How often each relation type occurs across all pattern triples."""
+    counts: Counter[Relation] = Counter()
+    for mined in result.patterns:
+        counts.update(mined.pattern.relations)
+    return {relation: counts.get(relation, 0) for relation in Relation}
+
+
+def series_interactions(result: MiningResult) -> list[SeriesInteraction]:
+    """Pairwise series co-occurrence inside patterns, strongest first.
+
+    Two series interact when at least one mined pattern contains events of
+    both.  The interaction strength is summarised by the number of such
+    patterns and the best support/confidence among them.
+    """
+    buckets: dict[frozenset[str], list] = defaultdict(list)
+    for mined in result.patterns:
+        series = {key[0] for key in mined.pattern.events}
+        if len(series) < 2:
+            continue
+        for pair in _pairs(sorted(series)):
+            buckets[frozenset(pair)].append(mined)
+    interactions = []
+    for pair, patterns in buckets.items():
+        series_a, series_b = sorted(pair)
+        interactions.append(
+            SeriesInteraction(
+                series_a=series_a,
+                series_b=series_b,
+                n_patterns=len(patterns),
+                max_confidence=max(m.confidence for m in patterns),
+                max_support=max(m.support for m in patterns),
+            )
+        )
+    interactions.sort(key=lambda it: (-it.n_patterns, -it.max_confidence))
+    return interactions
+
+
+def _pairs(items):
+    for i, first in enumerate(items):
+        for second in items[i + 1 :]:
+            yield first, second
+
+
+def summary_report(result: MiningResult, top: int = 5) -> str:
+    """Multi-line human-readable report over a mining result."""
+    lines = [result.summary(), ""]
+    distribution = relation_distribution(result)
+    total_triples = sum(distribution.values())
+    if total_triples:
+        lines.append("Relation mix: " + ", ".join(
+            f"{relation.value} {count / total_triples:.0%}"
+            for relation, count in distribution.items()
+        ))
+    interactions = series_interactions(result)[:top]
+    if interactions:
+        lines.append("Strongest series interactions:")
+        for interaction in interactions:
+            lines.append(
+                f"  {interaction.series_a} <-> {interaction.series_b}: "
+                f"{interaction.n_patterns} patterns, "
+                f"best confidence {interaction.max_confidence:.0%}"
+            )
+    strongest = result.top(top, by="confidence")
+    if strongest:
+        lines.append("Most confident patterns:")
+        for mined in strongest:
+            lines.append(f"  {mined.describe()}")
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""ASCII timeline rendering of temporal sequences and pattern occurrences.
+
+The paper's Fig. 1 motivates temporal patterns with a picture of appliance
+activations on a shared time axis.  :func:`render_sequence` draws the same kind
+of picture in plain text (one row per event, ``#`` marking the intervals), and
+:func:`render_occurrence` highlights one supporting assignment of a pattern —
+handy for eyeballing why a mined pattern holds in a given sequence.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..core.events import format_event
+from ..timeseries.sequences import EventInstance, TemporalSequence
+
+__all__ = ["render_sequence", "render_occurrence"]
+
+
+def _render_rows(
+    instances: Sequence[EventInstance], width: int, label_width: int | None = None
+) -> str:
+    if not instances:
+        return "(empty)"
+    if width < 10:
+        raise ValueError("width must be at least 10 characters")
+    start = min(i.start for i in instances)
+    end = max(i.end for i in instances)
+    span = max(end - start, 1e-9)
+
+    rows: dict[str, list[EventInstance]] = {}
+    for instance in instances:
+        rows.setdefault(format_event(instance.event_key), []).append(instance)
+    label_width = label_width or max(len(label) for label in rows)
+
+    lines = []
+    for label in sorted(rows):
+        cells = [" "] * width
+        for instance in rows[label]:
+            lo = int((instance.start - start) / span * (width - 1))
+            hi = int((instance.end - start) / span * (width - 1))
+            for position in range(lo, max(hi, lo) + 1):
+                cells[position] = "#"
+        lines.append(f"{label.ljust(label_width)} |{''.join(cells)}|")
+    axis = f"{'':<{label_width}} |{start:<{width // 2 - 1}.0f}{end:>{width - width // 2}.0f}|"
+    lines.append(axis)
+    return "\n".join(lines)
+
+
+def render_sequence(sequence: TemporalSequence, width: int = 60) -> str:
+    """Render every instance of one temporal sequence on a shared time axis."""
+    return _render_rows(list(sequence), width)
+
+
+def render_occurrence(occurrence: Sequence[EventInstance], width: int = 60) -> str:
+    """Render one supporting assignment (occurrence) of a pattern."""
+    return _render_rows(list(occurrence), width)

@@ -1,0 +1,8 @@
+"""Baseline temporal pattern miners the paper compares against (Section VI-A3)."""
+
+from .base import BaselineMiner
+from .hdfs import HDFSMiner
+from .ieminer import IEMiner
+from .tpminer import TPMiner
+
+__all__ = ["BaselineMiner", "HDFSMiner", "IEMiner", "TPMiner"]

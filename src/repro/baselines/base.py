@@ -1,0 +1,115 @@
+"""Shared plumbing for the baseline temporal pattern miners.
+
+The three baselines (H-DFS, IEMiner, TPMiner) re-implement the published
+competitors the paper compares against.  They share the relation semantics and
+the support/confidence definitions with HTPGM — so on the same input they mine
+the *same* set of frequent temporal patterns — but none of them uses HTPGM's
+bitmap indexes, hierarchical pattern graph or pruning lemmas, which is exactly
+the performance gap Tables VII–VIII measure.
+
+:class:`BaselineMiner` provides the common skeleton: threshold handling, event
+support counting, final confidence filtering and result assembly.  Subclasses
+implement :meth:`_mine_patterns`, returning the raw pattern → supporting
+sequence-id mapping.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+from ..core.config import MiningConfig
+from ..core.events import EventKey
+from ..core.patterns import PatternMeasures, TemporalPattern
+from ..core.result import MinedPattern, MiningResult
+from ..core.stats import MiningStatistics
+from ..exceptions import MiningError
+from ..timeseries.sequences import SequenceDatabase
+
+__all__ = ["BaselineMiner"]
+
+
+class BaselineMiner(ABC):
+    """Base class for the published baseline miners."""
+
+    #: Human-readable algorithm name reported in results.
+    algorithm_name = "baseline"
+
+    def __init__(self, config: MiningConfig | None = None) -> None:
+        self.config = config or MiningConfig()
+        self.statistics_: MiningStatistics | None = None
+
+    # ------------------------------------------------------------------ public API
+    def mine(self, database: SequenceDatabase) -> MiningResult:
+        """Mine all frequent temporal patterns from a sequence database."""
+        if len(database) == 0:
+            raise MiningError("cannot mine an empty sequence database")
+        started = time.perf_counter()
+        stats = MiningStatistics(n_sequences=len(database))
+        min_count = self.config.support_count(len(database))
+
+        event_supports = database.event_support_counts()
+        stats.events_scanned = len(event_supports)
+        frequent_events = {
+            event: support
+            for event, support in event_supports.items()
+            if support >= min_count
+        }
+        stats.frequent_events = len(frequent_events)
+        stats.patterns_found[1] = len(frequent_events)
+
+        raw_patterns = self._mine_patterns(database, frequent_events, min_count, stats)
+
+        mined = []
+        n_sequences = len(database)
+        for pattern, supporting in raw_patterns.items():
+            support = len(supporting)
+            if support < min_count:
+                continue
+            max_event_support = max(
+                frequent_events.get(event, event_supports.get(event, 0))
+                for event in pattern.events
+            )
+            if max_event_support == 0:
+                continue
+            confidence = support / max_event_support
+            if confidence < self.config.min_confidence:
+                continue
+            mined.append(
+                MinedPattern(
+                    pattern=pattern,
+                    measures=PatternMeasures(
+                        support=support,
+                        relative_support=support / n_sequences,
+                        confidence=min(confidence, 1.0),
+                    ),
+                )
+            )
+            stats.bump(stats.patterns_found, pattern.size)
+        mined.sort(key=lambda m: (m.size, -m.support, m.pattern.describe()))
+
+        self.statistics_ = stats
+        return MiningResult(
+            patterns=mined,
+            config=self.config,
+            n_sequences=n_sequences,
+            statistics=stats,
+            runtime_seconds=time.perf_counter() - started,
+            algorithm=self.algorithm_name,
+        )
+
+    # ------------------------------------------------------------------ subclass hook
+    @abstractmethod
+    def _mine_patterns(
+        self,
+        database: SequenceDatabase,
+        frequent_events: dict[EventKey, int],
+        min_count: int,
+        stats: MiningStatistics,
+    ) -> dict[TemporalPattern, set[int]]:
+        """Return every candidate pattern with its supporting sequence ids.
+
+        The base class applies the final support and confidence filters, so
+        subclasses may return patterns below the confidence threshold (the
+        baselines do not prune on confidence during the search).
+        """

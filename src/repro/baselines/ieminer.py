@@ -1,0 +1,222 @@
+"""IEMiner baseline (Patel, Hsu & Lee, "Mining relationships among interval-based
+events for classification", SIGMOD 2008).
+
+IEMiner is an Apriori-style, breadth-first miner over a hierarchical
+representation of interval events.  The defining costs relative to HTPGM are:
+
+* candidate event combinations are counted by **re-scanning the sequence
+  database at every level** (no bitmap index exists), and
+* only the support-based Apriori check is applied — there is no confidence
+  pruning (Lemma 3/7) and no transitivity filtering of the single events used
+  for candidate generation (Lemma 5).
+
+The relation semantics and the final support/confidence filters are shared with
+HTPGM, so the mined pattern set is identical; only the amount of work differs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from itertools import combinations
+
+from ..core.events import EventKey
+from ..core.patterns import TemporalPattern
+from ..core.relations import classify
+from ..core.stats import MiningStatistics
+from ..timeseries.sequences import EventInstance, SequenceDatabase
+from .base import BaselineMiner
+
+__all__ = ["IEMiner"]
+
+#: Per-pattern evidence: sequence id -> supporting instance assignments.
+Occurrences = dict[int, list[tuple[EventInstance, ...]]]
+
+
+class IEMiner(BaselineMiner):
+    """Breadth-first Apriori miner reproducing IEMiner."""
+
+    algorithm_name = "IEMiner"
+
+    def _mine_patterns(
+        self,
+        database: SequenceDatabase,
+        frequent_events: dict[EventKey, int],
+        min_count: int,
+        stats: MiningStatistics,
+    ) -> dict[TemporalPattern, set[int]]:
+        found: dict[TemporalPattern, set[int]] = {}
+
+        # IEMiner keeps no index across levels: every level re-scans the
+        # database to rebuild the per-sequence event view it needs.  The scan is
+        # repeated inside each level method below.
+        level_patterns = self._mine_pairs(database, frequent_events, min_count, stats)
+        self._collect(found, level_patterns, min_count)
+
+        level = 3
+        while level_patterns and (
+            self.config.max_pattern_size is None or level <= self.config.max_pattern_size
+        ):
+            level_patterns = self._mine_level(
+                database, frequent_events, level_patterns, min_count, stats, level
+            )
+            self._collect(found, level_patterns, min_count)
+            level += 1
+        return found
+
+    @staticmethod
+    def _scan_database(
+        database: SequenceDatabase, frequent_events: dict[EventKey, int]
+    ) -> tuple[dict[int, set[EventKey]], dict[int, dict[EventKey, list[EventInstance]]]]:
+        """One full pass over the database: per-sequence event sets and instances.
+
+        This is the repeated-scan cost of IEMiner — it happens once per level
+        instead of never (HTPGM pays it exactly once for the whole run).
+        """
+        event_sets: dict[int, set[EventKey]] = {}
+        instance_index: dict[int, dict[EventKey, list[EventInstance]]] = {}
+        for sequence in database:
+            per_event: dict[EventKey, list[EventInstance]] = {}
+            for instance in sequence:
+                if instance.event_key in frequent_events:
+                    per_event.setdefault(instance.event_key, []).append(instance)
+            for instances in per_event.values():
+                instances.sort()
+            event_sets[sequence.sequence_id] = set(per_event)
+            instance_index[sequence.sequence_id] = per_event
+        return event_sets, instance_index
+
+    # ------------------------------------------------------------------ level 2
+    def _mine_pairs(
+        self,
+        database: SequenceDatabase,
+        frequent_events: dict[EventKey, int],
+        min_count: int,
+        stats: MiningStatistics,
+    ) -> dict[TemporalPattern, Occurrences]:
+        """Enumerate instance pairs by scanning every sequence for every candidate pair."""
+        config = self.config
+        events = list(frequent_events)
+        candidate_pairs = list(combinations(events, 2))
+        if config.allow_self_relations:
+            candidate_pairs.extend((event, event) for event in events)
+
+        event_sets, instance_index = self._scan_database(database, frequent_events)
+
+        patterns: dict[TemporalPattern, Occurrences] = defaultdict(dict)
+        for event_a, event_b in candidate_pairs:
+            stats.bump(stats.candidates_generated, 2)
+            # Candidate support is counted with a sweep over the per-sequence
+            # event sets — no bitmap index exists.
+            supporting = [
+                sequence_id
+                for sequence_id, present in event_sets.items()
+                if event_a in present and event_b in present
+            ]
+            if len(supporting) < min_count:
+                stats.bump(stats.pruned_support, 2)
+                continue
+            for sequence_id in supporting:
+                per_event = instance_index[sequence_id]
+                instances_a = per_event[event_a]
+                same = event_a == event_b
+                instances_b = instances_a if same else per_event[event_b]
+                pairs = (
+                    combinations(instances_a, 2)
+                    if same
+                    else ((min(a, b), max(a, b)) for a in instances_a for b in instances_b)
+                )
+                for first, second in pairs:
+                    if config.tmax is not None and second.end - first.start > config.tmax:
+                        continue
+                    stats.bump(stats.relation_checks, 2)
+                    relation = classify(first, second, config.epsilon, config.min_overlap)
+                    if relation is None:
+                        continue
+                    pattern = TemporalPattern(
+                        events=(first.event_key, second.event_key), relations=(relation,)
+                    )
+                    patterns[pattern].setdefault(sequence_id, []).append(
+                        (first, second)
+                    )
+        return dict(patterns)
+
+    # ------------------------------------------------------------------ level k >= 3
+    def _mine_level(
+        self,
+        database: SequenceDatabase,
+        frequent_events: dict[EventKey, int],
+        previous: dict[TemporalPattern, Occurrences],
+        min_count: int,
+        stats: MiningStatistics,
+        level: int,
+    ) -> dict[TemporalPattern, Occurrences]:
+        """Extend the previous level's frequent patterns with one more event."""
+        config = self.config
+        # Per-level re-scan of the database (IEMiner has no persistent index).
+        event_sets, instance_index = self._scan_database(database, frequent_events)
+        frequent_previous = {
+            pattern: occurrences
+            for pattern, occurrences in previous.items()
+            if len(occurrences) >= min_count and len(set(pattern.events)) == pattern.size
+        }
+
+        patterns: dict[TemporalPattern, Occurrences] = defaultdict(dict)
+        for pattern, occurrences in frequent_previous.items():
+            used = set(pattern.events)
+            for event in frequent_events:
+                if event in used:
+                    continue
+                stats.bump(stats.candidates_generated, level)
+                # Candidate support is re-counted with a sweep over the event sets.
+                support = sum(
+                    1
+                    for present in event_sets.values()
+                    if event in present and used <= present
+                )
+                if support < min_count:
+                    stats.bump(stats.pruned_support, level)
+                    continue
+                for sequence_id, sequence_occurrences in occurrences.items():
+                    new_instances = instance_index[sequence_id].get(event)
+                    if not new_instances:
+                        continue
+                    for occurrence in sequence_occurrences:
+                        last, first = occurrence[-1], occurrence[0]
+                        for instance in new_instances:
+                            if instance <= last:
+                                continue
+                            if (
+                                config.tmax is not None
+                                and instance.end - first.start > config.tmax
+                            ):
+                                continue
+                            relations = []
+                            valid = True
+                            for existing in occurrence:
+                                stats.bump(stats.relation_checks, level)
+                                relation = classify(
+                                    existing, instance, config.epsilon, config.min_overlap
+                                )
+                                if relation is None:
+                                    valid = False
+                                    break
+                                relations.append(relation)
+                            if not valid:
+                                continue
+                            extended = pattern.extend(event, tuple(relations))
+                            patterns[extended].setdefault(sequence_id, []).append(
+                                occurrence + (instance,)
+                            )
+        return dict(patterns)
+
+    # ------------------------------------------------------------------ helpers
+    @staticmethod
+    def _collect(
+        found: dict[TemporalPattern, set[int]],
+        level_patterns: dict[TemporalPattern, Occurrences],
+        min_count: int,
+    ) -> None:
+        """Accumulate patterns whose support meets the threshold."""
+        for pattern, occurrences in level_patterns.items():
+            if len(occurrences) >= min_count:
+                found[pattern] = set(occurrences)

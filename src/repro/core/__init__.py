@@ -1,0 +1,78 @@
+"""Core of the reproduction: the paper's primary contribution.
+
+This subpackage contains the temporal-relation model, the Hierarchical Pattern
+Graph with its bitmap indexes, the exact miner (E-HTPGM), the mutual-information
+machinery and the approximate miner (A-HTPGM).
+"""
+
+from .approximate import AHTPGM
+from .bitmap import Bitmap
+from .config import MiningConfig, PruningMode
+from .correlation import (
+    CorrelationGraph,
+    build_correlation_graph,
+    mi_threshold_for_density,
+    pairwise_nmi,
+)
+from .event_pruning import (
+    EventCorrelationIndex,
+    binary_nmi,
+    build_event_correlation_index,
+)
+from .events import EventKey, TemporalEvent, collect_events, format_event, parse_event
+from .hpg import CombinationNode, EventNode, HierarchicalPatternGraph, PatternEntry
+from .htpgm import HTPGM
+from .mutual_information import (
+    conditional_entropy,
+    confidence_lower_bound,
+    entropy,
+    mutual_information,
+    nmi_matrix,
+    normalized_mutual_information,
+)
+from .patterns import PatternMeasures, TemporalPattern, pair_index, relation_pairs
+from .relations import Relation, classify, contains, follows, overlaps
+from .result import MinedPattern, MiningResult
+from .stats import MiningStatistics
+
+__all__ = [
+    "MiningConfig",
+    "PruningMode",
+    "EventKey",
+    "TemporalEvent",
+    "collect_events",
+    "format_event",
+    "parse_event",
+    "Relation",
+    "classify",
+    "follows",
+    "contains",
+    "overlaps",
+    "Bitmap",
+    "TemporalPattern",
+    "PatternMeasures",
+    "pair_index",
+    "relation_pairs",
+    "HierarchicalPatternGraph",
+    "EventNode",
+    "CombinationNode",
+    "PatternEntry",
+    "HTPGM",
+    "AHTPGM",
+    "entropy",
+    "conditional_entropy",
+    "mutual_information",
+    "normalized_mutual_information",
+    "nmi_matrix",
+    "confidence_lower_bound",
+    "CorrelationGraph",
+    "pairwise_nmi",
+    "build_correlation_graph",
+    "mi_threshold_for_density",
+    "EventCorrelationIndex",
+    "binary_nmi",
+    "build_event_correlation_index",
+    "MinedPattern",
+    "MiningResult",
+    "MiningStatistics",
+]

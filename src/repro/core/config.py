@@ -1,0 +1,150 @@
+"""Mining configuration shared by the exact and approximate miners.
+
+The paper's algorithms are parameterised by the support threshold ``σ``, the
+confidence threshold ``δ``, the relation buffer ``ε``, the minimal overlapping
+duration ``d_o``, the maximal pattern duration ``tmax`` and — for the ablation
+study of Figs. 6–7 — by which pruning techniques are active.  All of these live
+in one frozen :class:`MiningConfig` dataclass so a configuration can be passed
+around, logged and compared safely.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from enum import Enum
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["PruningMode", "MiningConfig"]
+
+
+class PruningMode(str, Enum):
+    """Which pruning techniques the exact miner applies.
+
+    ``NONE``
+        No candidate-level pruning; only the final support/confidence check.
+        This is the ``(NoPrune)-E-HTPGM`` configuration of the paper.
+    ``APRIORI``
+        Apriori-based pruning on event combinations (Lemmas 2 and 3).
+    ``TRANSITIVITY``
+        Transitivity-based pruning (Lemmas 4–7): single-event filtering before
+        the Cartesian product and iterative relation verification against L2.
+    ``ALL``
+        Both families (the default, and the configuration called
+        ``(All)-E-HTPGM`` in the paper).
+
+    All modes produce the same set of frequent patterns; they only differ in how
+    much candidate work is avoided.
+    """
+
+    NONE = "none"
+    APRIORI = "apriori"
+    TRANSITIVITY = "transitivity"
+    ALL = "all"
+
+    @property
+    def uses_apriori(self) -> bool:
+        """True when Apriori-based candidate filtering is active."""
+        return self in (PruningMode.APRIORI, PruningMode.ALL)
+
+    @property
+    def uses_transitivity(self) -> bool:
+        """True when transitivity-based filtering is active."""
+        return self in (PruningMode.TRANSITIVITY, PruningMode.ALL)
+
+
+@dataclass(frozen=True)
+class MiningConfig:
+    """Parameters of the HTPGM mining process.
+
+    Parameters
+    ----------
+    min_support:
+        Relative support threshold ``σ`` in ``(0, 1]`` (fraction of sequences).
+    min_confidence:
+        Confidence threshold ``δ`` in ``(0, 1]``.
+    epsilon:
+        Buffer ``ε >= 0`` added to relation endpoints (Defs. 3.6–3.8) to absorb
+        small misalignments between series.
+    min_overlap:
+        Minimal overlapping duration ``d_o > 0`` for the Overlap relation.
+    tmax:
+        Maximal duration of a pattern (constraint in Section III-C); ``None``
+        disables the constraint.
+    max_pattern_size:
+        Largest number of events per pattern; ``None`` mines until no level
+        produces new frequent patterns.
+    allow_self_relations:
+        When True (the paper's behaviour), an event may form a 2-event pattern
+        with itself through two distinct instances.
+    pruning:
+        Which pruning techniques to apply (see :class:`PruningMode`).
+    """
+
+    min_support: float = 0.5
+    min_confidence: float = 0.5
+    epsilon: float = 0.0
+    min_overlap: float = 1e-9
+    tmax: float | None = None
+    max_pattern_size: int | None = None
+    allow_self_relations: bool = True
+    pruning: PruningMode = PruningMode.ALL
+
+    def __post_init__(self) -> None:
+        if not 0 < self.min_support <= 1:
+            raise ConfigurationError(
+                f"min_support must be in (0, 1], got {self.min_support}"
+            )
+        if not 0 < self.min_confidence <= 1:
+            raise ConfigurationError(
+                f"min_confidence must be in (0, 1], got {self.min_confidence}"
+            )
+        if self.epsilon < 0:
+            raise ConfigurationError(f"epsilon must be non-negative, got {self.epsilon}")
+        if self.min_overlap <= 0:
+            raise ConfigurationError(
+                f"min_overlap must be positive, got {self.min_overlap}"
+            )
+        if self.epsilon > self.min_overlap:
+            raise ConfigurationError(
+                "epsilon must not exceed min_overlap "
+                f"(got epsilon={self.epsilon}, min_overlap={self.min_overlap}); "
+                "the paper requires 0 <= epsilon << d_o"
+            )
+        if self.tmax is not None and self.tmax <= 0:
+            raise ConfigurationError(f"tmax must be positive or None, got {self.tmax}")
+        if self.max_pattern_size is not None and self.max_pattern_size < 1:
+            raise ConfigurationError(
+                f"max_pattern_size must be >= 1 or None, got {self.max_pattern_size}"
+            )
+        if not isinstance(self.pruning, PruningMode):
+            object.__setattr__(self, "pruning", PruningMode(self.pruning))
+
+    # ------------------------------------------------------------------ helpers
+    def support_count(self, n_sequences: int) -> int:
+        """Absolute support threshold for a database of ``n_sequences`` rows.
+
+        Matches the paper's ``supp(P) >= σ`` with relative σ: a pattern is
+        frequent when it occurs in at least ``ceil(σ · |DSEQ|)`` sequences (and
+        always at least one).
+        """
+        if n_sequences <= 0:
+            raise ConfigurationError("support_count needs a positive database size")
+        return max(1, math.ceil(self.min_support * n_sequences))
+
+    def with_pruning(self, pruning: PruningMode | str) -> "MiningConfig":
+        """Copy of this configuration with a different pruning mode."""
+        return replace(self, pruning=PruningMode(pruning))
+
+    def with_thresholds(
+        self, min_support: float | None = None, min_confidence: float | None = None
+    ) -> "MiningConfig":
+        """Copy of this configuration with different σ and/or δ."""
+        return replace(
+            self,
+            min_support=self.min_support if min_support is None else min_support,
+            min_confidence=(
+                self.min_confidence if min_confidence is None else min_confidence
+            ),
+        )

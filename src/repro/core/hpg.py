@@ -1,0 +1,166 @@
+"""Hierarchical Pattern Graph (paper Section IV-C, Fig. 4).
+
+The HPG is the working data structure of HTPGM.  Level ``L1`` holds one node
+per frequent single event (bitmap + instance lists); level ``Lk`` (``k >= 2``)
+holds one node per frequent *combination* of ``k`` events, and each node stores
+the frequent ``k``-event patterns found for that combination together with the
+sequences and instance assignments supporting them.  Mining level ``k+1`` only
+reads levels ``k`` and ``1``, which is what makes the level-wise pruning work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..timeseries.sequences import EventInstance
+from .bitmap import Bitmap
+from .events import EventKey
+from .patterns import TemporalPattern
+
+__all__ = ["Occurrence", "PatternEntry", "EventNode", "CombinationNode", "HierarchicalPatternGraph"]
+
+#: One supporting assignment: one instance per pattern event, in pattern order.
+Occurrence = tuple[EventInstance, ...]
+
+
+@dataclass
+class PatternEntry:
+    """A pattern together with the evidence supporting it.
+
+    ``occurrences`` maps a sequence id to the instance assignments found in that
+    sequence; the set of keys is the support set of the pattern (Def. 3.14).
+    The assignments are retained because level ``k+1`` extends them with
+    instances of the new event.
+    """
+
+    pattern: TemporalPattern
+    occurrences: dict[int, list[Occurrence]] = field(default_factory=dict)
+
+    @property
+    def support(self) -> int:
+        """Number of sequences supporting the pattern."""
+        return len(self.occurrences)
+
+    def add_occurrence(self, sequence_id: int, occurrence: Occurrence) -> None:
+        """Record one supporting assignment observed in ``sequence_id``."""
+        self.occurrences.setdefault(sequence_id, []).append(occurrence)
+
+    def sequence_ids(self) -> set[int]:
+        """Ids of the supporting sequences."""
+        return set(self.occurrences)
+
+
+@dataclass
+class EventNode:
+    """Level-1 node: one frequent single event."""
+
+    event: EventKey
+    bitmap: Bitmap
+    instances_by_sequence: dict[int, list[EventInstance]]
+
+    @property
+    def support(self) -> int:
+        """Sequence-level support of the event."""
+        return self.bitmap.count()
+
+
+@dataclass
+class CombinationNode:
+    """Level-k node (k >= 2): a frequent combination of k events.
+
+    ``events`` is the canonical (sorted) tuple identifying the node; the
+    patterns stored inside keep their own chronological event order, which may
+    differ from the canonical order.
+    """
+
+    events: tuple[EventKey, ...]
+    bitmap: Bitmap
+    patterns: dict[TemporalPattern, PatternEntry] = field(default_factory=dict)
+
+    @property
+    def level(self) -> int:
+        """Number of events in the combination."""
+        return len(self.events)
+
+    @property
+    def support(self) -> int:
+        """Sequence-level support of the event combination."""
+        return self.bitmap.count()
+
+    def add_pattern_occurrence(
+        self, pattern: TemporalPattern, sequence_id: int, occurrence: Occurrence
+    ) -> None:
+        """Record a supporting assignment for ``pattern`` in this node."""
+        entry = self.patterns.get(pattern)
+        if entry is None:
+            entry = PatternEntry(pattern=pattern)
+            self.patterns[pattern] = entry
+        entry.add_occurrence(sequence_id, occurrence)
+
+    def prune_patterns(self, keep: set[TemporalPattern]) -> None:
+        """Drop every stored pattern not in ``keep`` (infrequent / low confidence)."""
+        self.patterns = {p: e for p, e in self.patterns.items() if p in keep}
+
+    def has_patterns(self) -> bool:
+        """True when at least one frequent pattern is stored."""
+        return bool(self.patterns)
+
+
+@dataclass
+class HierarchicalPatternGraph:
+    """The full graph: level 1 event nodes plus combination nodes per level."""
+
+    n_sequences: int
+    level1: dict[EventKey, EventNode] = field(default_factory=dict)
+    levels: dict[int, dict[tuple[EventKey, ...], CombinationNode]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ construction
+    def add_event_node(self, node: EventNode) -> None:
+        """Insert a frequent single event into level 1."""
+        self.level1[node.event] = node
+
+    def add_combination_node(self, node: CombinationNode) -> None:
+        """Insert a combination node into its level."""
+        self.levels.setdefault(node.level, {})[node.events] = node
+
+    # ------------------------------------------------------------------ queries
+    def frequent_events(self) -> list[EventKey]:
+        """The ``1Freq`` set, in insertion order."""
+        return list(self.level1.keys())
+
+    def event_support(self, event: EventKey) -> int:
+        """Support of a frequent event (0 when the event is not in level 1)."""
+        node = self.level1.get(event)
+        return node.support if node is not None else 0
+
+    def nodes_at(self, level: int) -> list[CombinationNode]:
+        """All combination nodes of one level."""
+        return list(self.levels.get(level, {}).values())
+
+    def node_for(self, events: tuple[EventKey, ...]) -> CombinationNode | None:
+        """Node identified by a canonical (sorted) event tuple, if present."""
+        return self.levels.get(len(events), {}).get(events)
+
+    def pair_node(self, event_a: EventKey, event_b: EventKey) -> CombinationNode | None:
+        """Level-2 node for an (unordered) event pair, if present."""
+        key = tuple(sorted((event_a, event_b)))
+        return self.levels.get(2, {}).get(key)
+
+    def max_level(self) -> int:
+        """Deepest populated level (1 when only single events were mined)."""
+        populated = [level for level, nodes in self.levels.items() if nodes]
+        return max(populated, default=1)
+
+    def iter_pattern_entries(self):
+        """Yield ``(level, node, entry)`` for every stored pattern."""
+        for level in sorted(self.levels):
+            for node in self.levels[level].values():
+                for entry in node.patterns.values():
+                    yield level, node, entry
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        per_level = {level: len(nodes) for level, nodes in sorted(self.levels.items())}
+        return (
+            f"HierarchicalPatternGraph(n_sequences={self.n_sequences}, "
+            f"level1={len(self.level1)}, levels={per_level})"
+        )

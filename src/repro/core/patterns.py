@@ -1,0 +1,172 @@
+"""Temporal patterns (paper Defs. 3.11–3.16).
+
+A temporal pattern over ``k`` events is a list of ``k(k-1)/2`` triples
+``(E_i, r_ij, E_j)``.  We store it canonically as
+
+* ``events`` — the event keys ordered by the chronological order of their
+  supporting instances (earliest start first; ties broken by the instance total
+  order), and
+* ``relations`` — one relation per ordered pair ``(i, j)`` with ``i < j``,
+  grouped by the later index ``j``: the pairs appear in the order
+  ``(0,1), (0,2), (1,2), (0,3), (1,3), (2,3), ...``.
+
+Grouping by the later index means that extending a ``(k-1)``-event pattern with
+a new, chronologically last event simply appends ``k-1`` relations, which is
+exactly how the HTPGM level-wise growth works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from ..exceptions import MiningError
+from .events import EventKey, format_event
+from .relations import Relation
+
+__all__ = ["TemporalPattern", "PatternMeasures", "pair_index", "relation_pairs"]
+
+
+def relation_pairs(size: int) -> list[tuple[int, int]]:
+    """Ordered pairs ``(i, j)`` with ``i < j`` in pattern storage order.
+
+    The order groups pairs by the later event index so that growing a pattern by
+    one event appends relations at the end: for ``size = 3`` the result is
+    ``[(0, 1), (0, 2), (1, 2)]``.
+    """
+    pairs = []
+    for j in range(1, size):
+        for i in range(j):
+            pairs.append((i, j))
+    return pairs
+
+
+def pair_index(i: int, j: int) -> int:
+    """Position of the relation for pair ``(i, j)`` (``i < j``) in ``relations``."""
+    if not 0 <= i < j:
+        raise MiningError(f"pair_index requires 0 <= i < j, got ({i}, {j})")
+    return j * (j - 1) // 2 + i
+
+
+@dataclass(frozen=True)
+class TemporalPattern:
+    """An n-event temporal pattern (Def. 3.11)."""
+
+    events: tuple[EventKey, ...]
+    relations: tuple[Relation, ...]
+
+    def __post_init__(self) -> None:
+        expected = len(self.events) * (len(self.events) - 1) // 2
+        if len(self.relations) != expected:
+            raise MiningError(
+                f"pattern over {len(self.events)} events needs {expected} relations, "
+                f"got {len(self.relations)}"
+            )
+        if len(self.events) < 1:
+            raise MiningError("a pattern needs at least one event")
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def size(self) -> int:
+        """Number of events (``|P|`` in the paper)."""
+        return len(self.events)
+
+    def relation_between(self, i: int, j: int) -> Relation:
+        """Relation of the pair ``(i, j)`` with ``i < j``."""
+        return self.relations[pair_index(i, j)]
+
+    def triples(self) -> list[tuple[EventKey, Relation, EventKey]]:
+        """The pattern as the paper's list of ``(E_i, r_ij, E_j)`` triples."""
+        return [
+            (self.events[i], self.relations[pair_index(i, j)], self.events[j])
+            for i, j in relation_pairs(self.size)
+        ]
+
+    def event_set(self) -> frozenset[EventKey]:
+        """Distinct events occurring in the pattern."""
+        return frozenset(self.events)
+
+    # ------------------------------------------------------------------ growth & projection
+    def extend(self, event: EventKey, new_relations: tuple[Relation, ...]) -> "TemporalPattern":
+        """Pattern obtained by appending ``event`` as the chronologically last event.
+
+        ``new_relations[i]`` is the relation between ``self.events[i]`` and the
+        new event; there must be exactly ``self.size`` of them.
+        """
+        if len(new_relations) != self.size:
+            raise MiningError(
+                f"extending a {self.size}-event pattern needs {self.size} new relations, "
+                f"got {len(new_relations)}"
+            )
+        return TemporalPattern(
+            events=self.events + (event,),
+            relations=self.relations + tuple(new_relations),
+        )
+
+    def project(self, indices: tuple[int, ...]) -> "TemporalPattern":
+        """Sub-pattern restricted to the given event positions (kept in order)."""
+        if sorted(indices) != list(indices) or len(set(indices)) != len(indices):
+            raise MiningError("project() needs strictly increasing, distinct indices")
+        if any(not 0 <= idx < self.size for idx in indices):
+            raise MiningError(f"project() indices {indices} out of range for size {self.size}")
+        events = tuple(self.events[idx] for idx in indices)
+        relations = []
+        for j_pos in range(1, len(indices)):
+            for i_pos in range(j_pos):
+                relations.append(self.relation_between(indices[i_pos], indices[j_pos]))
+        return TemporalPattern(events=events, relations=tuple(relations))
+
+    def sub_patterns(self, size: int) -> list["TemporalPattern"]:
+        """All sub-patterns with exactly ``size`` events (``P' ⊆ P``)."""
+        if not 1 <= size <= self.size:
+            raise MiningError(f"sub-pattern size must be in [1, {self.size}], got {size}")
+        return [
+            self.project(indices)
+            for indices in combinations(range(self.size), size)
+        ]
+
+    def contains_pattern(self, other: "TemporalPattern") -> bool:
+        """True when ``other`` is a sub-pattern of this pattern (``other ⊆ self``)."""
+        if other.size > self.size:
+            return False
+        return any(
+            self.project(indices) == other
+            for indices in combinations(range(self.size), other.size)
+        )
+
+    # ------------------------------------------------------------------ rendering
+    def describe(self) -> str:
+        """Readable rendering, e.g. ``Kitchen:On -> Toaster:On``.
+
+        For patterns with more than two events the pairwise triples are joined
+        with semicolons (the paper's notation).
+        """
+        if self.size == 1:
+            return format_event(self.events[0])
+        parts = [
+            f"{format_event(ei)} {relation.symbol} {format_event(ej)}"
+            for ei, relation, ej in self.triples()
+        ]
+        return "; ".join(parts)
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+@dataclass(frozen=True)
+class PatternMeasures:
+    """Support and confidence of a mined pattern (Defs. 3.14 and 3.16)."""
+
+    support: int
+    relative_support: float
+    confidence: float
+
+    def __post_init__(self) -> None:
+        if self.support < 0:
+            raise MiningError("support cannot be negative")
+        if not 0 <= self.relative_support <= 1:
+            raise MiningError(
+                f"relative_support must be in [0, 1], got {self.relative_support}"
+            )
+        if not 0 <= self.confidence <= 1 + 1e-12:
+            raise MiningError(f"confidence must be in [0, 1], got {self.confidence}")

@@ -1,0 +1,97 @@
+"""Temporal relations between event instances (paper Defs. 3.6–3.8, Table II).
+
+The paper simplifies Allen's seven interval relations to three — *Follow*,
+*Contain* and *Overlap* — and adds a tolerance buffer ``ε`` to the interval
+endpoints so that small sampling misalignments between different series do not
+flip the relation type.  The definitions as written can overlap at the
+boundaries (e.g. two identical instants satisfy both Follow and Contain when
+``ε > 0``), so :func:`classify` applies a fixed priority — Follow, then Contain,
+then Overlap — which makes the classification a function: every ordered pair of
+instances maps to at most one relation.  This matches the paper's requirement
+that relations be mutually exclusive.
+
+All checks assume the first instance does not start after the second
+(``e1.start <= e2.start``); :func:`classify` enforces this and callers order the
+instances chronologically before classifying.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..exceptions import ConfigurationError
+from ..timeseries.sequences import EventInstance
+
+__all__ = ["Relation", "follows", "contains", "overlaps", "classify"]
+
+
+class Relation(str, Enum):
+    """The three temporal relations used by HTPGM."""
+
+    FOLLOW = "Follow"
+    CONTAIN = "Contain"
+    OVERLAP = "Overlap"
+
+    @property
+    def symbol(self) -> str:
+        """Compact notation used in the paper: ``->``, ``<``, ``G``."""
+        return {"Follow": "->", "Contain": "<", "Overlap": "G"}[self.value]
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def follows(e1: EventInstance, e2: EventInstance, epsilon: float = 0.0) -> bool:
+    """Follow relation (Def. 3.6): ``e1`` ends (within ``ε``) before ``e2`` starts."""
+    return e1.end - epsilon <= e2.start
+
+
+def contains(e1: EventInstance, e2: EventInstance, epsilon: float = 0.0) -> bool:
+    """Contain relation (Def. 3.7): ``e1`` covers ``e2`` (with ``ε`` slack at the end)."""
+    return e1.start <= e2.start and e1.end + epsilon >= e2.end
+
+
+def overlaps(
+    e1: EventInstance,
+    e2: EventInstance,
+    epsilon: float = 0.0,
+    min_overlap: float = 1e-9,
+) -> bool:
+    """Overlap relation (Def. 3.8): partial overlap of at least ``min_overlap``."""
+    return (
+        e1.start < e2.start
+        and e1.end + epsilon < e2.end
+        and e1.end - e2.start >= min_overlap - epsilon
+    )
+
+
+def classify(
+    e1: EventInstance,
+    e2: EventInstance,
+    epsilon: float = 0.0,
+    min_overlap: float = 1e-9,
+) -> Relation | None:
+    """Classify the relation between two chronologically ordered instances.
+
+    Returns ``None`` when none of the three relations holds (for instance when
+    two intervals overlap by less than ``min_overlap``).  Raises
+    :class:`ConfigurationError` when ``e1`` starts after ``e2`` — callers must
+    pass the instances in chronological order, which is how the miner always
+    enumerates them.
+    """
+    if epsilon < 0:
+        raise ConfigurationError(f"epsilon must be non-negative, got {epsilon}")
+    if min_overlap <= 0:
+        raise ConfigurationError(f"min_overlap must be positive, got {min_overlap}")
+    if e1.start > e2.start:
+        raise ConfigurationError(
+            "classify() requires chronologically ordered instances "
+            f"(e1.start={e1.start} > e2.start={e2.start})"
+        )
+    if follows(e1, e2, epsilon):
+        return Relation.FOLLOW
+    if contains(e1, e2, epsilon):
+        return Relation.CONTAIN
+    if overlaps(e1, e2, epsilon, min_overlap):
+        return Relation.OVERLAP
+    return None

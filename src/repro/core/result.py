@@ -1,0 +1,158 @@
+"""Mining results: the deliverable of E-HTPGM and A-HTPGM.
+
+A :class:`MiningResult` is the set of frequent temporal patterns together with
+their measures, the configuration that produced them, the work counters and the
+wall-clock runtime.  It offers the query helpers the examples, the evaluation
+harness and the accuracy metric (Table IX) build on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from .config import MiningConfig
+from .events import EventKey, format_event
+from .patterns import PatternMeasures, TemporalPattern
+from .stats import MiningStatistics
+
+__all__ = ["MinedPattern", "MiningResult"]
+
+
+@dataclass(frozen=True)
+class MinedPattern:
+    """One frequent temporal pattern with its measures."""
+
+    pattern: TemporalPattern
+    measures: PatternMeasures
+
+    @property
+    def support(self) -> int:
+        """Absolute support (number of supporting sequences)."""
+        return self.measures.support
+
+    @property
+    def relative_support(self) -> float:
+        """Support divided by ``|DSEQ|``."""
+        return self.measures.relative_support
+
+    @property
+    def confidence(self) -> float:
+        """Confidence per Def. 3.16."""
+        return self.measures.confidence
+
+    @property
+    def size(self) -> int:
+        """Number of events in the pattern."""
+        return self.pattern.size
+
+    def describe(self) -> str:
+        """Readable one-line rendering including the measures."""
+        return (
+            f"{self.pattern.describe()}  "
+            f"(supp={self.relative_support:.0%}, conf={self.confidence:.0%})"
+        )
+
+
+@dataclass
+class MiningResult:
+    """All frequent patterns produced by one mining run."""
+
+    patterns: list[MinedPattern]
+    config: MiningConfig
+    n_sequences: int
+    statistics: MiningStatistics = field(default_factory=MiningStatistics)
+    runtime_seconds: float = 0.0
+    algorithm: str = "E-HTPGM"
+    #: Series kept after MI pruning (A-HTPGM only; ``None`` for the exact miner).
+    correlated_series: list[str] | None = None
+
+    # ------------------------------------------------------------------ basics
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def __iter__(self) -> Iterator[MinedPattern]:
+        return iter(self.patterns)
+
+    def __contains__(self, pattern: TemporalPattern) -> bool:
+        return pattern in self.pattern_index()
+
+    # ------------------------------------------------------------------ queries
+    def pattern_index(self) -> dict[TemporalPattern, MinedPattern]:
+        """Mapping from pattern identity to its mined record."""
+        return {mined.pattern: mined for mined in self.patterns}
+
+    def pattern_set(self) -> set[TemporalPattern]:
+        """Set of pattern identities (used by the accuracy metric)."""
+        return {mined.pattern for mined in self.patterns}
+
+    def patterns_of_size(self, size: int) -> list[MinedPattern]:
+        """All patterns with exactly ``size`` events."""
+        return [mined for mined in self.patterns if mined.size == size]
+
+    def counts_by_size(self) -> dict[int, int]:
+        """Number of patterns per pattern size (row of Table V)."""
+        counts: dict[int, int] = {}
+        for mined in self.patterns:
+            counts[mined.size] = counts.get(mined.size, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def involving_event(self, event: EventKey) -> list[MinedPattern]:
+        """Patterns containing the given event."""
+        return [mined for mined in self.patterns if event in mined.pattern.events]
+
+    def involving_series(self, series: str) -> list[MinedPattern]:
+        """Patterns containing any event of the given series."""
+        return [
+            mined
+            for mined in self.patterns
+            if any(key[0] == series for key in mined.pattern.events)
+        ]
+
+    def top(self, n: int, by: str = "support") -> list[MinedPattern]:
+        """The ``n`` strongest patterns ordered by ``"support"`` or ``"confidence"``.
+
+        Ties are broken by the other measure and then by pattern size (larger
+        patterns first, as they are more informative).
+        """
+        if by == "support":
+            key = lambda m: (m.support, m.confidence, m.size)
+        elif by == "confidence":
+            key = lambda m: (m.confidence, m.support, m.size)
+        else:
+            raise ValueError(f"unknown ordering {by!r}; use 'support' or 'confidence'")
+        return sorted(self.patterns, key=key, reverse=True)[:n]
+
+    # ------------------------------------------------------------------ export
+    def to_records(self) -> list[dict[str, object]]:
+        """Plain-dict records (one per pattern) for CSV/JSON export."""
+        records = []
+        for mined in self.patterns:
+            records.append(
+                {
+                    "pattern": mined.pattern.describe(),
+                    "size": mined.size,
+                    "events": [format_event(e) for e in mined.pattern.events],
+                    "relations": [str(r) for r in mined.pattern.relations],
+                    "support": mined.support,
+                    "relative_support": mined.relative_support,
+                    "confidence": mined.confidence,
+                }
+            )
+        return records
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary of the run."""
+        lines = [
+            f"{self.algorithm}: {len(self.patterns)} frequent patterns "
+            f"from {self.n_sequences} sequences "
+            f"(sigma={self.config.min_support:.0%}, delta={self.config.min_confidence:.0%}) "
+            f"in {self.runtime_seconds:.2f}s",
+        ]
+        for size, count in self.counts_by_size().items():
+            lines.append(f"  {size}-event patterns: {count}")
+        if self.correlated_series is not None:
+            lines.append(
+                f"  correlated series kept by MI pruning: {len(self.correlated_series)}"
+            )
+        return "\n".join(lines)

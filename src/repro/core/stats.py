@@ -1,0 +1,90 @@
+"""Counters describing one mining run.
+
+These counters are the observable side of the pruning techniques: the ablation
+benchmarks (Figs. 6–7 of the paper) read them to report how many candidates
+each lemma removed, and the tests use them to assert that pruning never changes
+the mined pattern set, only the amount of work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MiningStatistics"]
+
+
+@dataclass
+class MiningStatistics:
+    """Work counters collected while mining."""
+
+    #: Number of sequences in the mined database.
+    n_sequences: int = 0
+    #: Distinct events scanned at level 1.
+    events_scanned: int = 0
+    #: Events that met the support threshold (the ``1Freq`` set).
+    frequent_events: int = 0
+    #: Candidate event combinations generated per level (level -> count).
+    candidates_generated: dict[int, int] = field(default_factory=dict)
+    #: Candidates removed by the Apriori support check (Lemma 2).
+    pruned_support: dict[int, int] = field(default_factory=dict)
+    #: Candidates removed by the Apriori confidence check (Lemma 3).
+    pruned_confidence: dict[int, int] = field(default_factory=dict)
+    #: Single events removed from the Cartesian product by Lemma 5.
+    pruned_transitivity_events: dict[int, int] = field(default_factory=dict)
+    #: Pattern extensions rejected by the iterative L2 check (Lemmas 4, 6, 7).
+    pruned_relation_checks: dict[int, int] = field(default_factory=dict)
+    #: Instance-pair relation classifications performed per level.
+    relation_checks: dict[int, int] = field(default_factory=dict)
+    #: Frequent patterns found per level.
+    patterns_found: dict[int, int] = field(default_factory=dict)
+    #: Wall-clock seconds spent per level.
+    level_seconds: dict[int, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ increments
+    def bump(self, counter: dict[int, int], level: int, amount: int = 1) -> None:
+        """Increment a per-level counter."""
+        counter[level] = counter.get(level, 0) + amount
+
+    # ------------------------------------------------------------------ summaries
+    @property
+    def total_candidates(self) -> int:
+        """Candidates generated across all levels."""
+        return sum(self.candidates_generated.values())
+
+    @property
+    def total_pruned(self) -> int:
+        """Candidates and extensions removed by every pruning rule."""
+        return (
+            sum(self.pruned_support.values())
+            + sum(self.pruned_confidence.values())
+            + sum(self.pruned_transitivity_events.values())
+            + sum(self.pruned_relation_checks.values())
+        )
+
+    @property
+    def total_patterns(self) -> int:
+        """Frequent patterns found across all levels."""
+        return sum(self.patterns_found.values())
+
+    @property
+    def max_level(self) -> int:
+        """Deepest level that produced at least one frequent pattern."""
+        levels = [level for level, count in self.patterns_found.items() if count > 0]
+        return max(levels) if levels else 0
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict rendering for logging and JSON export."""
+        return {
+            "n_sequences": self.n_sequences,
+            "events_scanned": self.events_scanned,
+            "frequent_events": self.frequent_events,
+            "candidates_generated": dict(self.candidates_generated),
+            "pruned_support": dict(self.pruned_support),
+            "pruned_confidence": dict(self.pruned_confidence),
+            "pruned_transitivity_events": dict(self.pruned_transitivity_events),
+            "pruned_relation_checks": dict(self.pruned_relation_checks),
+            "relation_checks": dict(self.relation_checks),
+            "patterns_found": dict(self.patterns_found),
+            "level_seconds": dict(self.level_seconds),
+            "total_patterns": self.total_patterns,
+        }

@@ -1,0 +1,15 @@
+"""Synthetic datasets standing in for the paper's evaluation data (Table IV)."""
+
+from .appliances import ENERGY_PROFILES, generate_energy_series
+from .registry import Dataset, available_datasets, make_dataset
+from .smartcity import SMARTCITY_PROFILE, generate_smartcity_series
+
+__all__ = [
+    "Dataset",
+    "make_dataset",
+    "available_datasets",
+    "generate_energy_series",
+    "generate_smartcity_series",
+    "ENERGY_PROFILES",
+    "SMARTCITY_PROFILE",
+]

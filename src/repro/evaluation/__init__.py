@@ -1,0 +1,30 @@
+"""Experiment harness: metrics, memory measurement, runner and reporting."""
+
+from .memory import measure_peak_memory
+from .metrics import (
+    accuracy,
+    confidence_cdf,
+    pattern_set_difference,
+    pruned_patterns,
+    runtime_gain,
+    speedup,
+)
+from .reporting import format_matrix, format_series, format_table
+from .runner import MINER_FACTORIES, ExperimentRunner, RunRecord, sweep_thresholds
+
+__all__ = [
+    "accuracy",
+    "speedup",
+    "runtime_gain",
+    "pruned_patterns",
+    "pattern_set_difference",
+    "confidence_cdf",
+    "measure_peak_memory",
+    "ExperimentRunner",
+    "RunRecord",
+    "MINER_FACTORIES",
+    "sweep_thresholds",
+    "format_table",
+    "format_matrix",
+    "format_series",
+]

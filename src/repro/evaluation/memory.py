@@ -1,0 +1,43 @@
+"""Peak-memory measurement for the Table VIII comparison.
+
+The paper reports the memory footprint of each miner.  We measure the peak of
+Python-level allocations made while a callable runs, using :mod:`tracemalloc`.
+Absolute numbers are not comparable to the paper's C-level RSS figures, but the
+*relative* ordering between miners — the thing Table VIII establishes — is
+preserved because all miners allocate through the same interpreter.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from collections.abc import Callable
+from typing import TypeVar
+
+__all__ = ["measure_peak_memory"]
+
+T = TypeVar("T")
+
+
+def measure_peak_memory(func: Callable[[], T]) -> tuple[T, float]:
+    """Run ``func`` and return ``(result, peak memory in MiB)``.
+
+    Tracing is scoped to the call: nesting measurements is not supported (the
+    inner call would reset the outer trace), which the evaluation runner never
+    does.
+    """
+    already_tracing = tracemalloc.is_tracing()
+    if already_tracing:
+        # Fall back to a delta of the current peak so nested use degrades
+        # gracefully instead of corrupting the outer measurement.
+        tracemalloc.reset_peak()
+        result = func()
+        _, peak = tracemalloc.get_traced_memory()
+        return result, peak / (1024 * 1024)
+
+    tracemalloc.start()
+    try:
+        result = func()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result, peak / (1024 * 1024)

@@ -1,0 +1,98 @@
+"""Metrics used by the experimental evaluation (paper Section VI).
+
+* :func:`accuracy` — the Table IX metric: how much of the exact miner's pattern
+  set the approximate miner recovers.
+* :func:`runtime_gain` — the Fig. 9 metric: relative runtime saved by A-HTPGM.
+* :func:`pruned_patterns` / :func:`confidence_cdf` — the Fig. 8 analysis of the
+  patterns lost to MI pruning and their confidence distribution.
+* :func:`speedup` — plain runtime ratio used throughout Table VII.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..core.result import MinedPattern, MiningResult
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "accuracy",
+    "speedup",
+    "runtime_gain",
+    "pruned_patterns",
+    "confidence_cdf",
+    "pattern_set_difference",
+]
+
+
+def accuracy(exact: MiningResult, approximate: MiningResult) -> float:
+    """Fraction of the exact pattern set recovered by the approximate miner.
+
+    This is the accuracy reported in Table IX: ``|P_A ∩ P_E| / |P_E|``.  When
+    the exact miner found no patterns the accuracy is defined as 1.0 (there was
+    nothing to miss).
+    """
+    exact_set = exact.pattern_set()
+    if not exact_set:
+        return 1.0
+    approx_set = approximate.pattern_set()
+    return len(exact_set & approx_set) / len(exact_set)
+
+
+def speedup(baseline_seconds: float, improved_seconds: float) -> float:
+    """Ratio ``baseline / improved`` — how many times faster the improved run is."""
+    if baseline_seconds < 0 or improved_seconds < 0:
+        raise ConfigurationError("runtimes must be non-negative")
+    if improved_seconds == 0:
+        return float("inf") if baseline_seconds > 0 else 1.0
+    return baseline_seconds / improved_seconds
+
+
+def runtime_gain(exact_seconds: float, approximate_seconds: float) -> float:
+    """Relative runtime saved by the approximate miner (Fig. 9).
+
+    ``(t_exact - t_approx) / t_exact``, clamped to ``[0, 1]``; 0 when the exact
+    runtime is zero.
+    """
+    if exact_seconds <= 0:
+        return 0.0
+    gain = (exact_seconds - approximate_seconds) / exact_seconds
+    return float(min(max(gain, 0.0), 1.0))
+
+
+def pattern_set_difference(
+    exact: MiningResult, approximate: MiningResult
+) -> tuple[list[MinedPattern], list[MinedPattern]]:
+    """Split the exact result into (recovered, missed) relative to the approximation."""
+    approx_set = approximate.pattern_set()
+    recovered = [m for m in exact.patterns if m.pattern in approx_set]
+    missed = [m for m in exact.patterns if m.pattern not in approx_set]
+    return recovered, missed
+
+
+def pruned_patterns(exact: MiningResult, approximate: MiningResult) -> list[MinedPattern]:
+    """Patterns found by the exact miner but pruned by the approximation (Fig. 8)."""
+    _, missed = pattern_set_difference(exact, approximate)
+    return missed
+
+
+def confidence_cdf(
+    patterns: Sequence[MinedPattern], points: Sequence[float] | None = None
+) -> list[tuple[float, float]]:
+    """Empirical CDF of pattern confidences (the Fig. 8 curves).
+
+    Returns ``(confidence level, cumulative probability)`` tuples.  ``points``
+    defaults to 0.1 steps from 0 to 1.  An empty pattern list yields a CDF that
+    is identically 1 (there is nothing below any threshold to miss).
+    """
+    if points is None:
+        points = [i / 10 for i in range(11)]
+    if not patterns:
+        return [(p, 1.0) for p in points]
+    confidences = sorted(m.confidence for m in patterns)
+    n = len(confidences)
+    cdf = []
+    for point in points:
+        below = sum(1 for c in confidences if c <= point)
+        cdf.append((point, below / n))
+    return cdf

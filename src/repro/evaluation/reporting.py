@@ -1,0 +1,87 @@
+"""Plain-text tables mirroring the layout of the paper's tables and figures.
+
+The benchmark harness prints its measurements through these helpers so the
+console output can be compared side-by-side with the paper (EXPERIMENTS.md
+records that comparison).  Only the standard library is used: the tables are
+simple fixed-width text.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["format_table", "format_matrix", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Fixed-width text table with one header row."""
+    columns = len(headers)
+    normalised = [[_cell(value) for value in row] for row in rows]
+    for row in normalised:
+        if len(row) != columns:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells but there are {columns} headers"
+            )
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in normalised)) if normalised else len(headers[i])
+        for i in range(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(columns)))
+    for row in normalised:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(columns)))
+    return "\n".join(lines)
+
+
+def format_matrix(
+    row_labels: Sequence[str],
+    column_labels: Sequence[str],
+    values: Mapping[tuple[str, str], object],
+    title: str | None = None,
+    corner: str = "",
+) -> str:
+    """Matrix-shaped table (rows × columns), e.g. support × confidence grids."""
+    headers = [corner, *column_labels]
+    rows = []
+    for row_label in row_labels:
+        rows.append(
+            [row_label, *[values.get((row_label, column), "-") for column in column_labels]]
+        )
+    return format_table(headers, rows, title=title)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """A figure rendered as a table: one x column plus one column per series.
+
+    This is how the benchmark harness reports the paper's line plots
+    (Figs. 6–13): the series values can be read off and compared against the
+    published curves.
+    """
+    headers = [x_label, *series.keys()]
+    n_points = len(x_values)
+    for name, values in series.items():
+        if len(values) != n_points:
+            raise ValueError(
+                f"series {name!r} has {len(values)} points but x has {n_points}"
+            )
+    rows = []
+    for index, x_value in enumerate(x_values):
+        rows.append([x_value, *[series[name][index] for name in series]])
+    return format_table(headers, rows, title=title)
+
+
+def _cell(value: object) -> str:
+    """Render one table cell."""
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 1000 else f"{value:.1f}"
+    return str(value)

@@ -1,0 +1,169 @@
+"""Experiment runner: one place that knows how to run every miner.
+
+The benchmarks for the paper's tables and figures all follow the same recipe —
+pick a dataset, pick thresholds, run one or more miners, record runtime /
+memory / pattern counts — so that recipe lives here instead of being duplicated
+per benchmark file.
+
+``MINER_FACTORIES`` maps the paper's method names (``"E-HTPGM"``,
+``"A-HTPGM"``, ``"TPMiner"``, ``"IEMiner"``, ``"H-DFS"``) to constructors; an
+:class:`ExperimentRunner` binds a transformed dataset and produces
+:class:`RunRecord` objects.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from ..baselines import HDFSMiner, IEMiner, TPMiner
+from ..core.approximate import AHTPGM
+from ..core.config import MiningConfig, PruningMode
+from ..core.htpgm import HTPGM
+from ..core.result import MiningResult
+from ..exceptions import ConfigurationError
+from ..timeseries.sequences import SequenceDatabase
+from ..timeseries.symbolic import SymbolicDatabase
+from .memory import measure_peak_memory
+from .metrics import accuracy, runtime_gain, speedup
+
+__all__ = ["RunRecord", "ExperimentRunner", "MINER_FACTORIES", "sweep_thresholds"]
+
+
+#: Known miner names, in the order the paper lists them.
+MINER_FACTORIES: dict[str, Callable[..., object]] = {
+    "E-HTPGM": lambda config, **_: HTPGM(config),
+    "A-HTPGM": lambda config, *, mi_threshold=None, graph_density=None, **_: AHTPGM(
+        config, mi_threshold=mi_threshold, graph_density=graph_density
+    ),
+    "TPMiner": lambda config, **_: TPMiner(config),
+    "IEMiner": lambda config, **_: IEMiner(config),
+    "H-DFS": lambda config, **_: HDFSMiner(config),
+}
+
+
+@dataclass
+class RunRecord:
+    """Outcome of running one miner once."""
+
+    method: str
+    config: MiningConfig
+    result: MiningResult
+    runtime_seconds: float
+    peak_memory_mb: float | None = None
+    extra: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def n_patterns(self) -> int:
+        """Number of frequent patterns mined."""
+        return len(self.result)
+
+
+@dataclass
+class ExperimentRunner:
+    """Runs miners against one transformed dataset (``DSYB`` + ``DSEQ``)."""
+
+    sequence_db: SequenceDatabase
+    symbolic_db: SymbolicDatabase | None = None
+    measure_memory: bool = False
+
+    # ------------------------------------------------------------------ single runs
+    def run(
+        self,
+        method: str,
+        config: MiningConfig,
+        mi_threshold: float | None = None,
+        graph_density: float | None = None,
+    ) -> RunRecord:
+        """Run one miner and collect runtime (and optionally peak memory)."""
+        if method not in MINER_FACTORIES:
+            raise ConfigurationError(
+                f"unknown method {method!r}; known: {sorted(MINER_FACTORIES)}"
+            )
+        if method == "A-HTPGM" and self.symbolic_db is None:
+            raise ConfigurationError("A-HTPGM needs the symbolic database (DSYB)")
+
+        miner = MINER_FACTORIES[method](
+            config, mi_threshold=mi_threshold, graph_density=graph_density
+        )
+
+        def _execute() -> MiningResult:
+            if method == "A-HTPGM":
+                return miner.mine(self.sequence_db, self.symbolic_db)
+            return miner.mine(self.sequence_db)
+
+        peak_memory = None
+        if self.measure_memory:
+            result, peak_memory = measure_peak_memory(_execute)
+        else:
+            result = _execute()
+
+        extra: dict[str, object] = {}
+        if mi_threshold is not None:
+            extra["mi_threshold"] = mi_threshold
+        if graph_density is not None:
+            extra["graph_density"] = graph_density
+        return RunRecord(
+            method=method,
+            config=config,
+            result=result,
+            runtime_seconds=result.runtime_seconds,
+            peak_memory_mb=peak_memory,
+            extra=extra,
+        )
+
+    def run_pruning_ablation(
+        self, config: MiningConfig, modes: Iterable[PruningMode] | None = None
+    ) -> dict[str, RunRecord]:
+        """Run E-HTPGM once per pruning mode (the Figs. 6–7 ablation)."""
+        if modes is None:
+            modes = list(PruningMode)
+        records = {}
+        for mode in modes:
+            record = self.run("E-HTPGM", config.with_pruning(mode))
+            record.method = f"E-HTPGM[{mode.value}]"
+            records[mode.value] = record
+        return records
+
+    # ------------------------------------------------------------------ comparisons
+    def compare_methods(
+        self,
+        config: MiningConfig,
+        methods: Iterable[str] = ("E-HTPGM", "TPMiner", "IEMiner", "H-DFS"),
+        approximate_densities: Iterable[float] = (),
+    ) -> dict[str, RunRecord]:
+        """Run several miners under the same configuration (Table VII / VIII rows)."""
+        records = {}
+        for method in methods:
+            records[method] = self.run(method, config)
+        for density in approximate_densities:
+            label = f"A-HTPGM({density:.0%})"
+            records[label] = self.run("A-HTPGM", config, graph_density=density)
+        return records
+
+    def accuracy_of(self, exact: RunRecord, approximate: RunRecord) -> dict[str, float]:
+        """Accuracy / runtime-gain / speedup summary of an A-vs-E pair."""
+        return {
+            "accuracy": accuracy(exact.result, approximate.result),
+            "runtime_gain": runtime_gain(
+                exact.runtime_seconds, approximate.runtime_seconds
+            ),
+            "speedup": speedup(exact.runtime_seconds, approximate.runtime_seconds),
+        }
+
+
+def sweep_thresholds(
+    supports: Iterable[float],
+    confidences: Iterable[float],
+    base_config: MiningConfig,
+) -> list[MiningConfig]:
+    """All (σ, δ) combinations of a threshold grid, as configurations.
+
+    The grid ordering is row-major (support outer, confidence inner), matching
+    how the paper's tables are laid out.
+    """
+    return [
+        base_config.with_thresholds(min_support=support, min_confidence=confidence)
+        for support in supports
+        for confidence in confidences
+    ]

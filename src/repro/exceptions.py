@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro (FTPMfTS) library.
+
+All exceptions raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish configuration mistakes from data problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when mining or transformation parameters are invalid.
+
+    Examples: a negative support threshold, an overlap duration larger than the
+    maximal pattern duration, or an unknown pruning mode.
+    """
+
+
+class DataError(ReproError):
+    """Raised when input data is malformed.
+
+    Examples: a time series with non-increasing timestamps, an empty symbolic
+    database, or a sequence database whose sequences reference unknown series.
+    """
+
+
+class SymbolizationError(DataError):
+    """Raised when a raw value cannot be mapped to a symbol."""
+
+
+class MiningError(ReproError):
+    """Raised when the mining process itself encounters an inconsistent state."""

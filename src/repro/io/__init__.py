@@ -1,0 +1,13 @@
+"""Import/export helpers for time series, symbolic databases and mined patterns."""
+
+from .csv_io import read_time_series_csv, write_symbolic_csv, write_time_series_csv
+from .patterns_io import read_patterns_json, write_patterns_csv, write_patterns_json
+
+__all__ = [
+    "read_time_series_csv",
+    "write_time_series_csv",
+    "write_symbolic_csv",
+    "write_patterns_json",
+    "read_patterns_json",
+    "write_patterns_csv",
+]

@@ -1,0 +1,107 @@
+"""CSV import/export for time series and symbolic databases.
+
+The FTPMfTS process consumes plain time series; this module reads and writes
+them in the common "wide" CSV layout — a ``timestamp`` column followed by one
+column per series — which is how the public releases of the paper's datasets
+(NIST, UK-DALE, Pecan Street, NYC Open Data) are typically distributed.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import DataError
+from ..timeseries.series import TimeSeries, TimeSeriesSet
+from ..timeseries.symbolic import SymbolicDatabase
+
+__all__ = [
+    "write_time_series_csv",
+    "read_time_series_csv",
+    "write_symbolic_csv",
+]
+
+
+def write_time_series_csv(series_set: TimeSeriesSet, path: str | Path) -> Path:
+    """Write an aligned :class:`TimeSeriesSet` to a wide CSV file.
+
+    The series must share a common time grid (call
+    :meth:`TimeSeriesSet.align` first when they do not).
+    """
+    if len(series_set) == 0:
+        raise DataError("cannot write an empty TimeSeriesSet")
+    if not series_set.is_aligned():
+        raise DataError("series must be aligned before writing; call align() first")
+    path = Path(path)
+    names = series_set.names
+    timestamps = series_set.series[0].timestamps
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["timestamp", *names])
+        for index, timestamp in enumerate(timestamps.tolist()):
+            writer.writerow(
+                [timestamp, *[series_set[name].values[index] for name in names]]
+            )
+    return path
+
+
+def read_time_series_csv(path: str | Path) -> TimeSeriesSet:
+    """Read a wide CSV file (``timestamp`` column + one column per series)."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataError(f"{path} is empty") from None
+        if not header or header[0].lower() != "timestamp":
+            raise DataError(
+                f"{path}: first column must be 'timestamp', got {header[:1]!r}"
+            )
+        names = header[1:]
+        if not names:
+            raise DataError(f"{path}: no series columns found")
+        timestamps: list[float] = []
+        columns: list[list[float]] = [[] for _ in names]
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(names) + 1:
+                raise DataError(
+                    f"{path}:{line_number}: expected {len(names) + 1} columns, got {len(row)}"
+                )
+            try:
+                timestamps.append(float(row[0]))
+                for column, value in zip(columns, row[1:]):
+                    column.append(float(value))
+            except ValueError as error:
+                raise DataError(f"{path}:{line_number}: {error}") from None
+    if not timestamps:
+        raise DataError(f"{path}: no data rows")
+    grid = np.asarray(timestamps)
+    return TimeSeriesSet(
+        [
+            TimeSeries(name=name, timestamps=grid.copy(), values=np.asarray(column))
+            for name, column in zip(names, columns)
+        ]
+    )
+
+
+def write_symbolic_csv(symbolic_db: SymbolicDatabase, path: str | Path) -> Path:
+    """Write an aligned symbolic database to a wide CSV of symbols."""
+    if len(symbolic_db) == 0:
+        raise DataError("cannot write an empty SymbolicDatabase")
+    symbolic_db.require_aligned()
+    path = Path(path)
+    names = symbolic_db.names
+    timestamps = symbolic_db.series[0].timestamps
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["timestamp", *names])
+        for index, timestamp in enumerate(timestamps.tolist()):
+            writer.writerow(
+                [timestamp, *[symbolic_db[name].symbols[index] for name in names]]
+            )
+    return path

@@ -1,0 +1,67 @@
+"""Export of mining results to JSON and CSV.
+
+Downstream consumers (dashboards, notebooks) usually want the mined patterns as
+flat records; these helpers serialise a
+:class:`~repro.core.result.MiningResult` without losing the measures or the
+configuration that produced it.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from ..core.result import MiningResult
+
+__all__ = ["write_patterns_json", "write_patterns_csv", "read_patterns_json"]
+
+
+def _result_payload(result: MiningResult) -> dict[str, object]:
+    """JSON-serialisable payload for a mining result."""
+    return {
+        "algorithm": result.algorithm,
+        "n_sequences": result.n_sequences,
+        "runtime_seconds": result.runtime_seconds,
+        "config": {
+            "min_support": result.config.min_support,
+            "min_confidence": result.config.min_confidence,
+            "epsilon": result.config.epsilon,
+            "min_overlap": result.config.min_overlap,
+            "tmax": result.config.tmax,
+            "max_pattern_size": result.config.max_pattern_size,
+            "pruning": result.config.pruning.value,
+        },
+        "correlated_series": result.correlated_series,
+        "patterns": result.to_records(),
+    }
+
+
+def write_patterns_json(result: MiningResult, path: str | Path) -> Path:
+    """Write a mining result (patterns + measures + configuration) as JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(_result_payload(result), indent=2))
+    return path
+
+
+def read_patterns_json(path: str | Path) -> dict[str, object]:
+    """Read a JSON file written by :func:`write_patterns_json` as plain data.
+
+    The patterns are returned as records (dictionaries), not reconstructed
+    objects: the export format is meant for downstream analysis, not for
+    round-tripping miner state.
+    """
+    return json.loads(Path(path).read_text())
+
+
+def write_patterns_csv(result: MiningResult, path: str | Path) -> Path:
+    """Write the mined patterns as a flat CSV (one row per pattern)."""
+    path = Path(path)
+    records = result.to_records()
+    fieldnames = ["pattern", "size", "support", "relative_support", "confidence"]
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames, extrasaction="ignore")
+        writer.writeheader()
+        for record in records:
+            writer.writerow(record)
+    return path

@@ -1,0 +1,123 @@
+"""End-to-end FTPMfTS process (paper Fig. 2).
+
+:class:`FTPMfTS` wires the two phases together: *data transformation* (raw time
+series → symbolic database → temporal sequence database) and *temporal pattern
+mining* (E-HTPGM or A-HTPGM).  :func:`mine_time_series` is the one-call
+convenience wrapper used by the quickstart example.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from .core.approximate import AHTPGM
+from .core.config import MiningConfig
+from .core.htpgm import HTPGM
+from .core.result import MiningResult
+from .exceptions import ConfigurationError
+from .timeseries.segmentation import SplitConfig, split_into_sequences
+from .timeseries.sequences import SequenceDatabase
+from .timeseries.series import TimeSeriesSet
+from .timeseries.symbolic import SymbolicDatabase
+from .timeseries.symbolization import Symbolizer, ThresholdSymbolizer, symbolize_set
+
+__all__ = ["FTPMfTS", "mine_time_series"]
+
+
+@dataclass
+class FTPMfTS:
+    """The full Frequent Temporal Pattern Mining from Time Series process.
+
+    Parameters
+    ----------
+    symbolizers:
+        One symboliser for every series or a mapping from series name to its
+        symboliser (defaults to the paper's On/Off threshold at 0.05).
+    split_config:
+        Window length and overlap used to build ``DSEQ`` from ``DSYB``.
+    mining_config:
+        Thresholds and pruning switches of the miner.
+    approximate:
+        When True run A-HTPGM; otherwise E-HTPGM.
+    mi_threshold, graph_density:
+        A-HTPGM search-space control; exactly one must be set when
+        ``approximate`` is True.
+    """
+
+    split_config: SplitConfig
+    symbolizers: Mapping[str, Symbolizer] | Symbolizer | None = None
+    mining_config: MiningConfig | None = None
+    approximate: bool = False
+    mi_threshold: float | None = None
+    graph_density: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.symbolizers is None:
+            self.symbolizers = ThresholdSymbolizer()
+        if self.mining_config is None:
+            self.mining_config = MiningConfig()
+        if not self.approximate and (
+            self.mi_threshold is not None or self.graph_density is not None
+        ):
+            raise ConfigurationError(
+                "mi_threshold / graph_density are only meaningful with approximate=True"
+            )
+
+    # ------------------------------------------------------------------ phases
+    def transform(
+        self, series_set: TimeSeriesSet
+    ) -> tuple[SymbolicDatabase, SequenceDatabase]:
+        """Data-transformation phase: raw series → (``DSYB``, ``DSEQ``)."""
+        aligned = series_set if series_set.is_aligned() else series_set.align()
+        symbolic_db = symbolize_set(aligned, self.symbolizers)
+        sequence_db = split_into_sequences(symbolic_db, self.split_config)
+        return symbolic_db, sequence_db
+
+    def mine(self, series_set: TimeSeriesSet) -> MiningResult:
+        """Run the complete process and return the frequent temporal patterns."""
+        symbolic_db, sequence_db = self.transform(series_set)
+        return self.mine_transformed(symbolic_db, sequence_db)
+
+    def mine_transformed(
+        self, symbolic_db: SymbolicDatabase, sequence_db: SequenceDatabase
+    ) -> MiningResult:
+        """Mining phase only, for callers that already hold ``DSYB`` and ``DSEQ``."""
+        if self.approximate:
+            miner = AHTPGM(
+                config=self.mining_config,
+                mi_threshold=self.mi_threshold,
+                graph_density=self.graph_density,
+            )
+            return miner.mine(sequence_db, symbolic_db)
+        return HTPGM(config=self.mining_config).mine(sequence_db)
+
+
+def mine_time_series(
+    series_set: TimeSeriesSet,
+    window_length: float,
+    overlap: float = 0.0,
+    symbolizers: Mapping[str, Symbolizer] | Symbolizer | None = None,
+    min_support: float = 0.5,
+    min_confidence: float = 0.5,
+    approximate: bool = False,
+    mi_threshold: float | None = None,
+    graph_density: float | None = None,
+    **config_kwargs,
+) -> MiningResult:
+    """One-call convenience wrapper around :class:`FTPMfTS`.
+
+    ``config_kwargs`` are forwarded to :class:`~repro.core.config.MiningConfig`
+    (``epsilon``, ``tmax``, ``max_pattern_size``, ``pruning``, ...).
+    """
+    process = FTPMfTS(
+        split_config=SplitConfig(window_length=window_length, overlap=overlap),
+        symbolizers=symbolizers,
+        mining_config=MiningConfig(
+            min_support=min_support, min_confidence=min_confidence, **config_kwargs
+        ),
+        approximate=approximate,
+        mi_threshold=mi_threshold,
+        graph_density=graph_density,
+    )
+    return process.mine(series_set)

@@ -1,0 +1,41 @@
+"""Time-series substrate of the FTPMfTS reproduction.
+
+This subpackage implements the *Data Transformation* phase of the FTPMfTS
+process (paper Fig. 2): raw time series → symbolic database (``DSYB``) →
+temporal sequence database (``DSEQ``).
+"""
+
+from .sax import SAXSymbolizer, gaussian_breakpoints
+from .segmentation import SplitConfig, split_into_sequences
+from .sequences import EventInstance, SequenceDatabase, TemporalSequence
+from .series import TimeSeries, TimeSeriesSet
+from .symbolic import SymbolicDatabase, SymbolicSeries, SymbolInterval
+from .symbolization import (
+    MappingSymbolizer,
+    QuantileSymbolizer,
+    Symbolizer,
+    ThresholdSymbolizer,
+    UniformBinSymbolizer,
+    symbolize_set,
+)
+
+__all__ = [
+    "TimeSeries",
+    "TimeSeriesSet",
+    "Symbolizer",
+    "ThresholdSymbolizer",
+    "QuantileSymbolizer",
+    "MappingSymbolizer",
+    "UniformBinSymbolizer",
+    "SAXSymbolizer",
+    "gaussian_breakpoints",
+    "symbolize_set",
+    "SymbolInterval",
+    "SymbolicSeries",
+    "SymbolicDatabase",
+    "EventInstance",
+    "TemporalSequence",
+    "SequenceDatabase",
+    "SplitConfig",
+    "split_into_sequences",
+]

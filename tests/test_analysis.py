@@ -1,0 +1,160 @@
+"""Tests for the analysis package (filtering, summarisation, timeline rendering)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HTPGM, MiningConfig, Relation, TemporalPattern
+from repro.analysis import (
+    closed_patterns,
+    filter_patterns,
+    maximal_patterns,
+    non_redundant_patterns,
+    relation_distribution,
+    render_occurrence,
+    render_sequence,
+    series_interactions,
+    summary_report,
+)
+from repro.timeseries import EventInstance, TemporalSequence
+
+K = ("K", "On")
+T = ("T", "On")
+M = ("M", "On")
+C = ("C", "On")
+
+
+@pytest.fixture()
+def paper_result(paper_sequence_db):
+    """Full mining result over the hand-built paper-style database (12 patterns)."""
+    return HTPGM(
+        MiningConfig(min_support=0.5, min_confidence=0.5, min_overlap=1.0)
+    ).mine(paper_sequence_db)
+
+
+class TestMaximalAndClosed:
+    def test_maximal_patterns_are_not_contained_in_each_other(self, paper_result):
+        maximal = maximal_patterns(paper_result)
+        assert maximal, "expected at least one maximal pattern"
+        for i, a in enumerate(maximal):
+            for j, b in enumerate(maximal):
+                if i != j:
+                    assert not b.pattern.contains_pattern(a.pattern)
+
+    def test_four_event_pattern_is_maximal(self, paper_result):
+        maximal = {m.pattern for m in maximal_patterns(paper_result)}
+        four_event = next(m.pattern for m in paper_result if m.size == 4)
+        assert four_event in maximal
+
+    def test_contained_two_event_pattern_not_maximal(self, paper_result):
+        maximal = {m.pattern for m in maximal_patterns(paper_result)}
+        assert TemporalPattern((K, T), (Relation.CONTAIN,)) not in maximal
+
+    def test_ti_follow_is_maximal(self, paper_result):
+        # (T -> I) has no frequent super-pattern, so it must be kept.
+        maximal = {m.pattern for m in maximal_patterns(paper_result)}
+        assert TemporalPattern((T, ("I", "On")), (Relation.FOLLOW,)) in maximal
+
+    def test_closed_patterns_preserve_support_information(self, paper_result):
+        closed = closed_patterns(paper_result)
+        closed_set = {m.pattern for m in closed}
+        index = paper_result.pattern_index()
+        for mined in paper_result:
+            if mined.pattern in closed_set:
+                continue
+            # Every dropped pattern has a closed super-pattern with equal support.
+            assert any(
+                other.pattern.contains_pattern(mined.pattern)
+                and other.support == mined.support
+                for other in closed
+            ), f"{mined.pattern} lost support information"
+        # Closed is a superset of maximal and a subset of everything.
+        maximal = {m.pattern for m in maximal_patterns(paper_result)}
+        assert maximal <= closed_set <= set(index)
+
+    def test_condensation_sizes(self, paper_result):
+        assert len(maximal_patterns(paper_result)) <= len(closed_patterns(paper_result)) <= len(paper_result)
+
+
+class TestNonRedundantAndFilter:
+    def test_non_redundant_drops_implied_subpatterns(self, paper_result):
+        kept = non_redundant_patterns(paper_result, confidence_slack=0.05)
+        assert len(kept) < len(paper_result)
+        with pytest.raises(ValueError):
+            non_redundant_patterns(paper_result, confidence_slack=-0.1)
+
+    def test_filter_by_measures_and_size(self, paper_result):
+        strong = filter_patterns(paper_result, min_confidence=0.75)
+        assert all(m.confidence >= 0.75 for m in strong)
+        big = filter_patterns(paper_result, min_size=3)
+        assert all(m.size >= 3 for m in big)
+        small = filter_patterns(paper_result, max_size=2)
+        assert all(m.size == 2 for m in small)
+        supported = filter_patterns(paper_result, min_support=0.75)
+        assert all(m.relative_support >= 0.75 for m in supported)
+
+    def test_filter_by_involved_events_and_predicate(self, paper_result):
+        with_m = filter_patterns(paper_result, involving=[M])
+        assert with_m and all(M in m.pattern.events for m in with_m)
+        only_follow = filter_patterns(
+            paper_result,
+            predicate=lambda m: all(r is Relation.FOLLOW for r in m.pattern.relations),
+        )
+        assert all(
+            all(r is Relation.FOLLOW for r in m.pattern.relations) for m in only_follow
+        )
+
+
+class TestSummaries:
+    def test_relation_distribution_counts_triples(self, paper_result):
+        distribution = relation_distribution(paper_result)
+        assert set(distribution) == set(Relation)
+        total = sum(distribution.values())
+        expected = sum(len(m.pattern.relations) for m in paper_result)
+        assert total == expected
+        assert distribution[Relation.CONTAIN] > 0
+
+    def test_series_interactions_ranked(self, paper_result):
+        interactions = series_interactions(paper_result)
+        assert interactions
+        pairs = {(i.series_a, i.series_b) for i in interactions}
+        assert ("K", "T") in pairs
+        assert all(
+            interactions[i].n_patterns >= interactions[i + 1].n_patterns
+            or interactions[i].max_confidence >= interactions[i + 1].max_confidence
+            for i in range(len(interactions) - 1)
+        )
+
+    def test_summary_report_mentions_key_facts(self, paper_result):
+        report = summary_report(paper_result, top=3)
+        assert "frequent patterns" in report
+        assert "Relation mix" in report
+        assert "Strongest series interactions" in report
+        assert "Most confident patterns" in report
+
+
+class TestTimelineRendering:
+    def test_render_sequence_one_row_per_event(self, paper_sequence_db):
+        text = render_sequence(paper_sequence_db[0], width=40)
+        lines = text.splitlines()
+        # 5 events + axis line.
+        assert len(lines) == len(paper_sequence_db[0].event_keys()) + 1
+        assert all("#" in line for line in lines[:-1])
+        assert "K:On" in text
+
+    def test_render_occurrence(self):
+        occurrence = (
+            EventInstance(0, 30, "K", "On"),
+            EventInstance(5, 15, "T", "On"),
+        )
+        text = render_occurrence(occurrence, width=30)
+        assert "K:On" in text and "T:On" in text
+        # The contained event's bar is shorter than the containing one's.
+        k_line = next(line for line in text.splitlines() if line.startswith("K:On"))
+        t_line = next(line for line in text.splitlines() if line.startswith("T:On"))
+        assert k_line.count("#") > t_line.count("#")
+
+    def test_render_empty_and_narrow(self):
+        assert render_sequence(TemporalSequence(0, []), width=40) == "(empty)"
+        with pytest.raises(ValueError):
+            render_occurrence((EventInstance(0, 1, "a", "On"),), width=5)

@@ -1,0 +1,103 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import read_time_series_csv
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "--output", "x.csv"])
+        assert args.dataset == "nist"
+        assert args.scale == 0.05
+
+    def test_mine_arguments(self):
+        args = build_parser().parse_args(
+            ["mine", "--input", "a.csv", "--output", "b.json", "--window", "1440",
+             "--support", "0.3", "--approximate", "--density", "0.5"]
+        )
+        assert args.window == 1440.0
+        assert args.approximate and args.density == 0.5
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "--dataset", "nope", "--output", "x.csv"])
+
+
+class TestGenerateCommand:
+    def test_generate_writes_csv(self, tmp_path, capsys):
+        output = tmp_path / "data.csv"
+        code = main(
+            ["generate", "--dataset", "dataport", "--scale", "0.01",
+             "--attributes", "0.3", "--seed", "1", "--output", str(output)]
+        )
+        assert code == 0
+        assert output.exists()
+        series_set = read_time_series_csv(output)
+        assert len(series_set) >= 4
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestMineCommand:
+    @pytest.fixture()
+    def csv_path(self, tmp_path):
+        output = tmp_path / "data.csv"
+        main(
+            ["generate", "--dataset", "dataport", "--scale", "0.015",
+             "--attributes", "0.4", "--seed", "2", "--output", str(output)]
+        )
+        return output
+
+    def test_mine_to_json(self, csv_path, tmp_path, capsys):
+        output = tmp_path / "patterns.json"
+        code = main(
+            ["mine", "--input", str(csv_path), "--output", str(output),
+             "--window", "1440", "--support", "0.4", "--confidence", "0.4",
+             "--epsilon", "1", "--min-overlap", "5", "--tmax", "360", "--max-size", "2"]
+        )
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert payload["algorithm"] == "E-HTPGM"
+        assert isinstance(payload["patterns"], list)
+        assert "frequent patterns" in capsys.readouterr().out
+
+    def test_mine_to_csv_approximate(self, csv_path, tmp_path):
+        output = tmp_path / "patterns.csv"
+        code = main(
+            ["mine", "--input", str(csv_path), "--output", str(output),
+             "--window", "1440", "--support", "0.4", "--confidence", "0.4",
+             "--epsilon", "1", "--min-overlap", "5", "--tmax", "360",
+             "--max-size", "2", "--approximate"]
+        )
+        assert code == 0
+        lines = output.read_text().splitlines()
+        assert lines[0].startswith("pattern,")
+
+    def test_missing_input_reports_error(self, tmp_path, capsys):
+        code = main(
+            ["mine", "--input", str(tmp_path / "missing.csv"), "--output",
+             str(tmp_path / "out.json"), "--window", "1440"]
+        )
+        assert code != 0 or "error" in capsys.readouterr().err
+
+
+class TestEvaluateCommand:
+    def test_evaluate_prints_comparison(self, capsys):
+        code = main(
+            ["evaluate", "--dataset", "dataport", "--scale", "0.015",
+             "--attributes", "0.4", "--support", "0.5", "--confidence", "0.5",
+             "--methods", "E-HTPGM", "TPMiner"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "E-HTPGM" in out and "TPMiner" in out
+        assert "runtime (s)" in out

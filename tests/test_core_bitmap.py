@@ -1,0 +1,105 @@
+"""Unit tests for the bitmap index (repro.core.bitmap)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Bitmap, ConfigurationError
+
+
+class TestConstruction:
+    def test_empty_bitmap(self):
+        bitmap = Bitmap(8)
+        assert bitmap.count() == 0
+        assert len(bitmap) == 8
+        assert not bitmap
+
+    def test_from_indices(self):
+        bitmap = Bitmap.from_indices(10, [0, 3, 9])
+        assert bitmap.count() == 3
+        assert list(bitmap.indices()) == [0, 3, 9]
+
+    def test_from_indices_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            Bitmap.from_indices(4, [4])
+        with pytest.raises(ConfigurationError):
+            Bitmap.from_indices(4, [-1])
+
+    def test_full(self):
+        bitmap = Bitmap.full(5)
+        assert bitmap.count() == 5
+        assert list(bitmap.indices()) == [0, 1, 2, 3, 4]
+
+    def test_zero_length(self):
+        bitmap = Bitmap.full(0)
+        assert bitmap.count() == 0
+        assert list(bitmap.indices()) == []
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Bitmap(-1)
+
+    def test_excess_bits_masked(self):
+        bitmap = Bitmap(3, bits=0b11111)
+        assert bitmap.count() == 3
+
+
+class TestBitOperations:
+    def test_set_get_clear(self):
+        bitmap = Bitmap(6)
+        bitmap.set(2)
+        assert bitmap.get(2)
+        assert not bitmap.get(3)
+        bitmap.clear(2)
+        assert not bitmap.get(2)
+
+    def test_index_bounds_checked(self):
+        bitmap = Bitmap(4)
+        with pytest.raises(ConfigurationError):
+            bitmap.get(4)
+        with pytest.raises(ConfigurationError):
+            bitmap.set(-1)
+
+    def test_and_is_support_of_combination(self):
+        # The paper's level-2 step: supp(Ei, Ej) = popcount(AND(b_i, b_j)).
+        a = Bitmap.from_indices(6, [0, 1, 2, 5])
+        b = Bitmap.from_indices(6, [1, 2, 3])
+        assert (a & b).count() == 2
+        assert list((a & b).indices()) == [1, 2]
+
+    def test_or_xor_invert_difference(self):
+        a = Bitmap.from_indices(4, [0, 1])
+        b = Bitmap.from_indices(4, [1, 2])
+        assert list((a | b).indices()) == [0, 1, 2]
+        assert list((a ^ b).indices()) == [0, 2]
+        assert list((~a).indices()) == [2, 3]
+        assert list(a.difference(b).indices()) == [0]
+
+    def test_subset(self):
+        a = Bitmap.from_indices(5, [1, 2])
+        b = Bitmap.from_indices(5, [0, 1, 2, 3])
+        assert a.is_subset_of(b)
+        assert not b.is_subset_of(a)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Bitmap(3) & Bitmap(4)
+
+    def test_non_bitmap_operand_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Bitmap(3) & 7  # type: ignore[operator]
+
+
+class TestEqualityHash:
+    def test_equality_and_hash(self):
+        a = Bitmap.from_indices(5, [1, 3])
+        b = Bitmap.from_indices(5, [1, 3])
+        c = Bitmap.from_indices(6, [1, 3])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a != "not a bitmap"
+
+    def test_usable_as_dict_key(self):
+        mapping = {Bitmap.from_indices(3, [0]): "x"}
+        assert mapping[Bitmap.from_indices(3, [0])] == "x"

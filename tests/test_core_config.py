@@ -1,0 +1,87 @@
+"""Unit tests for MiningConfig and PruningMode (repro.core.config)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ConfigurationError, MiningConfig, PruningMode
+
+
+class TestPruningMode:
+    def test_flags(self):
+        assert PruningMode.ALL.uses_apriori and PruningMode.ALL.uses_transitivity
+        assert PruningMode.APRIORI.uses_apriori and not PruningMode.APRIORI.uses_transitivity
+        assert not PruningMode.TRANSITIVITY.uses_apriori and PruningMode.TRANSITIVITY.uses_transitivity
+        assert not PruningMode.NONE.uses_apriori and not PruningMode.NONE.uses_transitivity
+
+    def test_from_string(self):
+        assert PruningMode("apriori") is PruningMode.APRIORI
+
+
+class TestMiningConfigValidation:
+    def test_defaults_are_valid(self):
+        config = MiningConfig()
+        assert config.pruning is PruningMode.ALL
+
+    @pytest.mark.parametrize("support", [0.0, -0.1, 1.5])
+    def test_invalid_support(self, support):
+        with pytest.raises(ConfigurationError):
+            MiningConfig(min_support=support)
+
+    @pytest.mark.parametrize("confidence", [0.0, -0.1, 1.5])
+    def test_invalid_confidence(self, confidence):
+        with pytest.raises(ConfigurationError):
+            MiningConfig(min_confidence=confidence)
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MiningConfig(epsilon=-0.5)
+
+    def test_nonpositive_overlap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MiningConfig(min_overlap=0.0)
+
+    def test_epsilon_larger_than_overlap_rejected(self):
+        # The paper requires 0 <= epsilon << d_o.
+        with pytest.raises(ConfigurationError):
+            MiningConfig(epsilon=10.0, min_overlap=5.0)
+
+    def test_invalid_tmax_and_pattern_size(self):
+        with pytest.raises(ConfigurationError):
+            MiningConfig(tmax=0.0)
+        with pytest.raises(ConfigurationError):
+            MiningConfig(max_pattern_size=0)
+
+    def test_pruning_accepts_string(self):
+        config = MiningConfig(pruning="transitivity")
+        assert config.pruning is PruningMode.TRANSITIVITY
+
+
+class TestMiningConfigHelpers:
+    def test_support_count_ceiling(self):
+        config = MiningConfig(min_support=0.5)
+        assert config.support_count(4) == 2
+        assert config.support_count(5) == 3  # ceil(2.5)
+        assert MiningConfig(min_support=0.01).support_count(10) == 1
+
+    def test_support_count_requires_positive_size(self):
+        with pytest.raises(ConfigurationError):
+            MiningConfig().support_count(0)
+
+    def test_with_pruning_returns_copy(self):
+        base = MiningConfig()
+        changed = base.with_pruning("none")
+        assert changed.pruning is PruningMode.NONE
+        assert base.pruning is PruningMode.ALL
+
+    def test_with_thresholds(self):
+        base = MiningConfig(min_support=0.5, min_confidence=0.6)
+        changed = base.with_thresholds(min_support=0.2)
+        assert changed.min_support == 0.2
+        assert changed.min_confidence == 0.6
+        assert base.min_support == 0.5
+
+    def test_frozen(self):
+        config = MiningConfig()
+        with pytest.raises(AttributeError):
+            config.min_support = 0.1  # type: ignore[misc]

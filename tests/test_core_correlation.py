@@ -1,0 +1,115 @@
+"""Unit tests for the correlation graph and density-based mu selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError, SymbolicDatabase, SymbolicSeries, build_correlation_graph, mi_threshold_for_density
+from repro.core.correlation import CorrelationGraph, pairwise_nmi
+from repro.exceptions import DataError
+
+
+def make_series(name, symbols, alphabet=("Off", "On")):
+    return SymbolicSeries(
+        name=name,
+        timestamps=np.arange(len(symbols), dtype=float),
+        symbols=symbols,
+        alphabet=alphabet,
+    )
+
+
+@pytest.fixture()
+def correlated_db() -> SymbolicDatabase:
+    """Three mutually informative series plus one independent noise series."""
+    base = ["On", "On", "Off", "Off", "On", "Off", "On", "Off"]
+    inverse = ["Off" if s == "On" else "On" for s in base]
+    noise = ["On", "Off", "On", "On", "Off", "On", "Off", "Off"]
+    return SymbolicDatabase(
+        [
+            make_series("a", base),
+            make_series("b", base),
+            make_series("c", inverse),
+            make_series("noise", noise),
+        ]
+    )
+
+
+class TestPairwiseNMI:
+    def test_symmetric_pair_key_and_min_direction(self, correlated_db):
+        values = pairwise_nmi(correlated_db)
+        assert len(values) == 6
+        assert values[frozenset({"a", "b"})] == pytest.approx(1.0)
+        assert values[frozenset({"a", "c"})] == pytest.approx(1.0)
+        assert values[frozenset({"a", "noise"})] < 0.5
+
+    def test_needs_two_series(self):
+        with pytest.raises(DataError):
+            pairwise_nmi(SymbolicDatabase([make_series("only", ["On", "Off"])]))
+
+
+class TestCorrelationGraph:
+    def test_edges_require_threshold_in_both_directions(self, correlated_db):
+        graph = build_correlation_graph(correlated_db, mi_threshold=0.9)
+        assert graph.has_edge("a", "b")
+        assert graph.has_edge("a", "c")
+        assert graph.has_edge("b", "c")
+        assert not graph.has_edge("a", "noise")
+        assert graph.has_edge("a", "a")  # same series is trivially correlated
+
+    def test_correlated_series_excludes_isolated_vertices(self, correlated_db):
+        graph = build_correlation_graph(correlated_db, mi_threshold=0.9)
+        assert set(graph.correlated_series()) == {"a", "b", "c"}
+        assert graph.degree("noise") == 0
+        assert graph.neighbors("a") == ["b", "c"]
+
+    def test_density(self, correlated_db):
+        graph = build_correlation_graph(correlated_db, mi_threshold=0.9)
+        assert graph.max_edges == 6
+        assert graph.n_edges == 3
+        assert graph.density == pytest.approx(0.5)
+
+    def test_threshold_validation(self, correlated_db):
+        with pytest.raises(ConfigurationError):
+            build_correlation_graph(correlated_db, mi_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            build_correlation_graph(correlated_db, mi_threshold=1.5)
+
+    def test_empty_graph_density_is_zero(self):
+        graph = CorrelationGraph(mi_threshold=0.5, vertices=[], edges={})
+        assert graph.density == 0.0
+
+    def test_precomputed_nmi_values_reused(self, correlated_db):
+        values = pairwise_nmi(correlated_db)
+        graph = build_correlation_graph(correlated_db, 0.9, nmi_values=values)
+        assert graph.n_edges == 3
+
+
+class TestDensityBasedThreshold:
+    def test_density_keeps_requested_fraction_of_edges(self, correlated_db):
+        mu = mi_threshold_for_density(correlated_db, density=0.5)
+        graph = build_correlation_graph(correlated_db, mu)
+        assert graph.n_edges == 3
+        assert graph.density == pytest.approx(0.5)
+
+    def test_full_density_keeps_every_edge(self, correlated_db):
+        mu = mi_threshold_for_density(correlated_db, density=1.0)
+        graph = build_correlation_graph(correlated_db, mu)
+        assert graph.n_edges == graph.max_edges
+
+    def test_small_density_keeps_at_least_one_edge(self, correlated_db):
+        mu = mi_threshold_for_density(correlated_db, density=0.01)
+        graph = build_correlation_graph(correlated_db, mu)
+        assert graph.n_edges >= 1
+
+    def test_threshold_monotone_in_density(self, correlated_db):
+        mus = [
+            mi_threshold_for_density(correlated_db, density=d) for d in (0.2, 0.5, 0.8, 1.0)
+        ]
+        assert mus == sorted(mus, reverse=True)
+
+    def test_density_validation(self, correlated_db):
+        with pytest.raises(ConfigurationError):
+            mi_threshold_for_density(correlated_db, density=0.0)
+        with pytest.raises(ConfigurationError):
+            mi_threshold_for_density(correlated_db, density=1.2)

@@ -1,0 +1,212 @@
+"""Tests for the exact miner E-HTPGM on the hand-built paper-style database.
+
+The expected supports and confidences in this module were computed by hand from
+the ``paper_sequence_db`` fixture (see conftest.py), so they pin down the exact
+semantics of Definitions 3.13-3.16 and of the level-wise mining steps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HTPGM, MiningConfig, PruningMode, Relation, TemporalPattern
+
+K = ("K", "On")
+T = ("T", "On")
+M = ("M", "On")
+C = ("C", "On")
+I = ("I", "On")
+B = ("B", "On")
+
+FOLLOW = Relation.FOLLOW
+CONTAIN = Relation.CONTAIN
+OVERLAP = Relation.OVERLAP
+
+
+def mine(db, **kwargs):
+    defaults = dict(min_support=0.5, min_confidence=0.5, epsilon=0.0, min_overlap=1.0)
+    defaults.update(kwargs)
+    return HTPGM(MiningConfig(**defaults)).mine(db)
+
+
+class TestSingleEvents:
+    def test_frequent_events_at_half_support(self, paper_sequence_db):
+        result = mine(paper_sequence_db)
+        miner_graph_events = result.statistics.frequent_events
+        assert miner_graph_events == 5  # K, T, M, C, I (B occurs once only)
+
+    def test_frequent_events_at_three_quarters_support(self, paper_sequence_db):
+        result = mine(paper_sequence_db, min_support=0.75)
+        assert result.statistics.frequent_events == 4  # K, T, M, C
+
+    def test_event_supports_recorded_in_graph(self, paper_sequence_db):
+        miner = HTPGM(MiningConfig(min_support=0.5, min_confidence=0.5, min_overlap=1.0))
+        miner.mine(paper_sequence_db)
+        graph = miner.graph_
+        assert graph.event_support(K) == 4
+        assert graph.event_support(T) == 4
+        assert graph.event_support(M) == 3
+        assert graph.event_support(C) == 3
+        assert graph.event_support(I) == 2
+        assert graph.event_support(B) == 0  # infrequent, not in level 1
+
+
+class TestTwoEventPatterns:
+    def test_expected_pattern_set(self, paper_sequence_db):
+        result = mine(paper_sequence_db, max_pattern_size=2)
+        expected = {
+            TemporalPattern((K, T), (CONTAIN,)),
+            TemporalPattern((K, M), (CONTAIN,)),
+            TemporalPattern((K, C), (CONTAIN,)),
+            TemporalPattern((T, M), (FOLLOW,)),
+            TemporalPattern((T, C), (FOLLOW,)),
+            TemporalPattern((M, C), (OVERLAP,)),
+            TemporalPattern((T, I), (FOLLOW,)),
+        }
+        assert result.pattern_set() == expected
+
+    def test_supports_and_confidences(self, paper_sequence_db):
+        result = mine(paper_sequence_db, max_pattern_size=2)
+        index = result.pattern_index()
+        contain_kt = index[TemporalPattern((K, T), (CONTAIN,))]
+        assert contain_kt.support == 3
+        assert contain_kt.relative_support == pytest.approx(0.75)
+        assert contain_kt.confidence == pytest.approx(3 / 4)
+
+        overlap_mc = index[TemporalPattern((M, C), (OVERLAP,))]
+        assert overlap_mc.support == 3
+        assert overlap_mc.confidence == pytest.approx(1.0)
+
+        follow_tm = index[TemporalPattern((T, M), (FOLLOW,))]
+        assert follow_tm.support == 2
+        assert follow_tm.confidence == pytest.approx(0.5)
+
+    def test_high_confidence_threshold_keeps_only_overlap(self, paper_sequence_db):
+        result = mine(paper_sequence_db, min_confidence=0.8)
+        assert result.pattern_set() == {TemporalPattern((M, C), (OVERLAP,))}
+
+    def test_high_support_threshold(self, paper_sequence_db):
+        result = mine(paper_sequence_db, min_support=0.75, max_pattern_size=2)
+        assert len(result) == 5
+        assert TemporalPattern((T, M), (FOLLOW,)) not in result.pattern_set()
+        assert TemporalPattern((T, I), (FOLLOW,)) not in result.pattern_set()
+
+    def test_infrequent_event_generates_no_patterns(self, paper_sequence_db):
+        result = mine(paper_sequence_db)
+        assert not result.involving_series("B")
+
+
+class TestKEventPatterns:
+    def test_three_event_patterns(self, paper_sequence_db):
+        result = mine(paper_sequence_db, max_pattern_size=3)
+        three = {m.pattern for m in result.patterns_of_size(3)}
+        expected = {
+            TemporalPattern((K, T, M), (CONTAIN, CONTAIN, FOLLOW)),
+            TemporalPattern((K, T, C), (CONTAIN, CONTAIN, FOLLOW)),
+            TemporalPattern((K, M, C), (CONTAIN, CONTAIN, OVERLAP)),
+            TemporalPattern((T, M, C), (FOLLOW, FOLLOW, OVERLAP)),
+        }
+        assert three == expected
+
+    def test_three_event_measures(self, paper_sequence_db):
+        result = mine(paper_sequence_db, max_pattern_size=3)
+        index = result.pattern_index()
+        ktc = index[TemporalPattern((K, T, C), (CONTAIN, CONTAIN, FOLLOW))]
+        assert ktc.support == 3
+        assert ktc.confidence == pytest.approx(0.75)
+        ktm = index[TemporalPattern((K, T, M), (CONTAIN, CONTAIN, FOLLOW))]
+        assert ktm.support == 2
+        assert ktm.confidence == pytest.approx(0.5)
+
+    def test_four_event_pattern(self, paper_sequence_db):
+        result = mine(paper_sequence_db)
+        four = result.patterns_of_size(4)
+        assert len(four) == 1
+        pattern = four[0].pattern
+        assert pattern.events == (K, T, M, C)
+        assert pattern.relation_between(0, 1) is CONTAIN
+        assert pattern.relation_between(0, 2) is CONTAIN
+        assert pattern.relation_between(1, 2) is FOLLOW
+        assert pattern.relation_between(0, 3) is CONTAIN
+        assert pattern.relation_between(1, 3) is FOLLOW
+        assert pattern.relation_between(2, 3) is OVERLAP
+        assert four[0].support == 2
+
+    def test_total_pattern_count(self, paper_sequence_db):
+        result = mine(paper_sequence_db)
+        assert result.counts_by_size() == {2: 7, 3: 4, 4: 1}
+
+    def test_max_pattern_size_caps_levels(self, paper_sequence_db):
+        result = mine(paper_sequence_db, max_pattern_size=2)
+        assert result.counts_by_size() == {2: 7}
+
+    def test_tmax_constraint_drops_long_patterns(self, paper_sequence_db):
+        # A tight maximal duration removes patterns whose instances span > 20.
+        result = mine(paper_sequence_db, tmax=20.0, max_pattern_size=2)
+        full = mine(paper_sequence_db, max_pattern_size=2)
+        assert result.pattern_set() < full.pattern_set()
+
+
+class TestSubPatternConsistency:
+    def test_support_anti_monotone_over_sub_patterns(self, paper_sequence_db):
+        """Lemma 2 generalised: every sub-pattern is at least as frequent."""
+        result = mine(paper_sequence_db)
+        index = {m.pattern: m for m in result.patterns}
+        for mined in result.patterns:
+            if mined.size < 3:
+                continue
+            for sub in mined.pattern.sub_patterns(mined.size - 1):
+                assert sub in index, f"sub-pattern {sub} missing from result"
+                assert index[sub].support >= mined.support
+                assert index[sub].confidence >= mined.confidence
+
+
+class TestPruningModes:
+    @pytest.mark.parametrize("mode", list(PruningMode))
+    def test_all_modes_mine_identical_patterns(self, paper_sequence_db, mode):
+        reference = mine(paper_sequence_db)
+        candidate = mine(paper_sequence_db, pruning=mode)
+        assert candidate.pattern_set() == reference.pattern_set()
+        # Measures must match too, not just identities.
+        ref_index = reference.pattern_index()
+        for mined in candidate.patterns:
+            assert ref_index[mined.pattern].support == mined.support
+            assert ref_index[mined.pattern].confidence == pytest.approx(mined.confidence)
+
+    def test_pruning_reduces_candidate_work(self, paper_sequence_db):
+        none_miner = HTPGM(MiningConfig(min_support=0.5, min_confidence=0.5, min_overlap=1.0, pruning=PruningMode.NONE))
+        all_miner = HTPGM(MiningConfig(min_support=0.5, min_confidence=0.5, min_overlap=1.0, pruning=PruningMode.ALL))
+        none_miner.mine(paper_sequence_db)
+        all_miner.mine(paper_sequence_db)
+        none_checks = sum(none_miner.statistics_.relation_checks.values())
+        all_checks = sum(all_miner.statistics_.relation_checks.values())
+        assert all_checks <= none_checks
+
+
+class TestEdgeCases:
+    def test_empty_database_raises(self):
+        from repro import SequenceDatabase
+        from repro.exceptions import MiningError
+
+        with pytest.raises(MiningError):
+            HTPGM().mine(SequenceDatabase([]))
+
+    def test_max_pattern_size_one_returns_no_relational_patterns(self, paper_sequence_db):
+        result = mine(paper_sequence_db, max_pattern_size=1)
+        assert len(result) == 0
+        assert result.statistics.frequent_events == 5
+
+    def test_result_sorted_by_size_then_support(self, paper_sequence_db):
+        result = mine(paper_sequence_db)
+        sizes = [m.size for m in result.patterns]
+        assert sizes == sorted(sizes)
+
+    def test_event_and_pair_filters(self, paper_sequence_db):
+        # Filters are the hook A-HTPGM uses; restrict to the K/T series only.
+        miner = HTPGM(
+            MiningConfig(min_support=0.5, min_confidence=0.5, min_overlap=1.0),
+            event_filter=lambda key: key[0] in {"K", "T"},
+            pair_filter=lambda a, b: {a[0], b[0]} <= {"K", "T"},
+        )
+        result = miner.mine(paper_sequence_db)
+        assert result.pattern_set() == {TemporalPattern((K, T), (CONTAIN,))}

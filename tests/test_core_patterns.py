@@ -1,0 +1,143 @@
+"""Unit tests for TemporalPattern (repro.core.patterns)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Relation, TemporalPattern
+from repro.core.patterns import PatternMeasures, pair_index, relation_pairs
+from repro.exceptions import MiningError
+
+K = ("K", "On")
+T = ("T", "On")
+M = ("M", "On")
+C = ("C", "On")
+
+FOLLOW = Relation.FOLLOW
+CONTAIN = Relation.CONTAIN
+OVERLAP = Relation.OVERLAP
+
+
+class TestPairOrdering:
+    def test_relation_pairs_grouped_by_later_index(self):
+        assert relation_pairs(2) == [(0, 1)]
+        assert relation_pairs(3) == [(0, 1), (0, 2), (1, 2)]
+        assert relation_pairs(4) == [(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (2, 3)]
+
+    def test_pair_index_consistent_with_relation_pairs(self):
+        for size in range(2, 6):
+            for position, (i, j) in enumerate(relation_pairs(size)):
+                assert pair_index(i, j) == position
+
+    def test_pair_index_rejects_bad_pairs(self):
+        with pytest.raises(MiningError):
+            pair_index(2, 1)
+        with pytest.raises(MiningError):
+            pair_index(1, 1)
+
+
+class TestTemporalPattern:
+    def test_single_event_pattern(self):
+        pattern = TemporalPattern(events=(K,), relations=())
+        assert pattern.size == 1
+        assert pattern.describe() == "K:On"
+
+    def test_relation_count_validated(self):
+        with pytest.raises(MiningError):
+            TemporalPattern(events=(K, T), relations=())
+        with pytest.raises(MiningError):
+            TemporalPattern(events=(K, T, M), relations=(FOLLOW,))
+
+    def test_triples_match_paper_notation(self):
+        pattern = TemporalPattern(events=(K, T, M), relations=(CONTAIN, CONTAIN, FOLLOW))
+        assert pattern.triples() == [
+            (K, CONTAIN, T),
+            (K, CONTAIN, M),
+            (T, FOLLOW, M),
+        ]
+        assert pattern.relation_between(1, 2) is FOLLOW
+
+    def test_describe_two_event(self):
+        pattern = TemporalPattern(events=(K, T), relations=(CONTAIN,))
+        assert pattern.describe() == "K:On < T:On"
+
+    def test_extend_appends_new_relations(self):
+        base = TemporalPattern(events=(K, T), relations=(CONTAIN,))
+        extended = base.extend(M, (CONTAIN, FOLLOW))
+        assert extended.events == (K, T, M)
+        assert extended.relations == (CONTAIN, CONTAIN, FOLLOW)
+        assert extended.relation_between(0, 2) is CONTAIN
+        assert extended.relation_between(1, 2) is FOLLOW
+
+    def test_extend_wrong_relation_count(self):
+        base = TemporalPattern(events=(K, T), relations=(CONTAIN,))
+        with pytest.raises(MiningError):
+            base.extend(M, (CONTAIN,))
+
+    def test_project_keeps_pairwise_relations(self):
+        pattern = TemporalPattern(
+            events=(K, T, M, C),
+            relations=(CONTAIN, CONTAIN, FOLLOW, CONTAIN, FOLLOW, OVERLAP),
+        )
+        sub = pattern.project((0, 2, 3))
+        assert sub.events == (K, M, C)
+        assert sub.relation_between(0, 1) is CONTAIN  # K-M
+        assert sub.relation_between(0, 2) is CONTAIN  # K-C
+        assert sub.relation_between(1, 2) is OVERLAP  # M-C
+
+    def test_project_validation(self):
+        pattern = TemporalPattern(events=(K, T, M), relations=(CONTAIN, CONTAIN, FOLLOW))
+        with pytest.raises(MiningError):
+            pattern.project((2, 0))
+        with pytest.raises(MiningError):
+            pattern.project((0, 0))
+        with pytest.raises(MiningError):
+            pattern.project((0, 5))
+
+    def test_sub_patterns_and_containment(self):
+        pattern = TemporalPattern(events=(K, T, M), relations=(CONTAIN, CONTAIN, FOLLOW))
+        subs = pattern.sub_patterns(2)
+        assert len(subs) == 3
+        assert TemporalPattern(events=(T, M), relations=(FOLLOW,)) in subs
+        assert pattern.contains_pattern(TemporalPattern(events=(K, M), relations=(CONTAIN,)))
+        assert not pattern.contains_pattern(TemporalPattern(events=(K, M), relations=(FOLLOW,)))
+        # A larger pattern is never contained in a smaller one.
+        assert not TemporalPattern(events=(K, T), relations=(CONTAIN,)).contains_pattern(pattern)
+
+    def test_sub_patterns_size_validation(self):
+        pattern = TemporalPattern(events=(K, T), relations=(CONTAIN,))
+        with pytest.raises(MiningError):
+            pattern.sub_patterns(0)
+        with pytest.raises(MiningError):
+            pattern.sub_patterns(3)
+
+    def test_extend_then_project_roundtrip(self):
+        base = TemporalPattern(events=(K, T), relations=(FOLLOW,))
+        extended = base.extend(M, (FOLLOW, OVERLAP))
+        assert extended.project((0, 1)) == base
+
+    def test_hashable_and_equality(self):
+        a = TemporalPattern(events=(K, T), relations=(CONTAIN,))
+        b = TemporalPattern(events=(K, T), relations=(CONTAIN,))
+        c = TemporalPattern(events=(T, K), relations=(CONTAIN,))
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert len({a, b, c}) == 2
+
+    def test_event_set(self):
+        pattern = TemporalPattern(events=(K, K), relations=(FOLLOW,))
+        assert pattern.event_set() == {K}
+
+
+class TestPatternMeasures:
+    def test_valid_measures(self):
+        measures = PatternMeasures(support=3, relative_support=0.75, confidence=0.9)
+        assert measures.support == 3
+
+    def test_invalid_measures(self):
+        with pytest.raises(MiningError):
+            PatternMeasures(support=-1, relative_support=0.5, confidence=0.5)
+        with pytest.raises(MiningError):
+            PatternMeasures(support=1, relative_support=1.5, confidence=0.5)
+        with pytest.raises(MiningError):
+            PatternMeasures(support=1, relative_support=0.5, confidence=1.5)

@@ -1,0 +1,121 @@
+"""Unit tests for the temporal relations (paper Defs. 3.6-3.8, Table II)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ConfigurationError, EventInstance, Relation
+from repro.core.relations import classify, contains, follows, overlaps
+
+
+def inst(start, end, series="X", symbol="On"):
+    return EventInstance(start=start, end=end, series=series, symbol=symbol)
+
+
+class TestFollow:
+    def test_basic_follow(self):
+        assert follows(inst(0, 5), inst(6, 10))
+
+    def test_meeting_intervals_follow(self):
+        # te1 <= ts2 with equality: "meets" counts as Follow.
+        assert follows(inst(0, 5), inst(5, 10))
+
+    def test_overlapping_not_follow(self):
+        assert not follows(inst(0, 6), inst(5, 10))
+
+    def test_epsilon_tolerates_small_overlap(self):
+        # With a one-minute buffer, ending one minute after the next start
+        # still counts as Follow (Def. 3.6: te1 - eps <= ts2).
+        assert follows(inst(0, 6), inst(5, 10), epsilon=1.0)
+
+
+class TestContain:
+    def test_basic_contain(self):
+        assert contains(inst(0, 20), inst(5, 15))
+
+    def test_equal_intervals_contain(self):
+        assert contains(inst(0, 10), inst(0, 10))
+
+    def test_extending_beyond_end_not_contained(self):
+        assert not contains(inst(0, 10), inst(5, 15))
+
+    def test_epsilon_tolerates_slight_overrun(self):
+        assert contains(inst(0, 10), inst(5, 11), epsilon=1.0)
+
+
+class TestOverlap:
+    def test_basic_overlap(self):
+        assert overlaps(inst(0, 10), inst(5, 20), min_overlap=1.0)
+
+    def test_overlap_requires_minimum_duration(self):
+        # Only 0.5 time units of overlap: below d_o = 1.
+        assert not overlaps(inst(0, 5.5), inst(5, 20), min_overlap=1.0)
+
+    def test_disjoint_not_overlap(self):
+        assert not overlaps(inst(0, 5), inst(10, 20), min_overlap=1.0)
+
+    def test_contained_not_overlap(self):
+        assert not overlaps(inst(0, 30), inst(5, 15), min_overlap=1.0)
+
+
+class TestClassify:
+    def test_classification_matches_individual_predicates(self):
+        assert classify(inst(0, 5), inst(6, 10), min_overlap=1.0) is Relation.FOLLOW
+        assert classify(inst(0, 20), inst(5, 15), min_overlap=1.0) is Relation.CONTAIN
+        assert classify(inst(0, 10), inst(5, 20), min_overlap=1.0) is Relation.OVERLAP
+
+    def test_none_when_no_relation_holds(self):
+        # Overlap shorter than d_o and neither Follow nor Contain.
+        assert classify(inst(0, 5.5), inst(5, 20), min_overlap=1.0) is None
+
+    def test_mutually_exclusive_priority(self):
+        """Every ordered instance pair maps to at most one relation."""
+        pairs = [
+            (inst(0, 5), inst(5, 10)),
+            (inst(0, 10), inst(0, 10)),
+            (inst(0, 10), inst(2, 8)),
+            (inst(0, 10), inst(5, 30)),
+            (inst(0, 3), inst(20, 21)),
+        ]
+        for first, second in pairs:
+            relation = classify(first, second, epsilon=0.5, min_overlap=1.0)
+            matches = [
+                follows(first, second, 0.5),
+                relation is not None and not follows(first, second, 0.5) and contains(first, second, 0.5),
+                relation is not None
+                and not follows(first, second, 0.5)
+                and not contains(first, second, 0.5)
+                and overlaps(first, second, 0.5, 1.0),
+            ]
+            # The classifier picks the first matching predicate in priority order.
+            if relation is Relation.FOLLOW:
+                assert matches[0]
+            elif relation is Relation.CONTAIN:
+                assert matches[1]
+            elif relation is Relation.OVERLAP:
+                assert matches[2]
+
+    def test_requires_chronological_order(self):
+        with pytest.raises(ConfigurationError):
+            classify(inst(10, 20), inst(0, 5))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            classify(inst(0, 1), inst(2, 3), epsilon=-1.0)
+        with pytest.raises(ConfigurationError):
+            classify(inst(0, 1), inst(2, 3), min_overlap=0.0)
+
+    def test_relation_symbols_and_str(self):
+        assert Relation.FOLLOW.symbol == "->"
+        assert Relation.CONTAIN.symbol == "<"
+        assert Relation.OVERLAP.symbol == "G"
+        assert str(Relation.FOLLOW) == "Follow"
+
+    def test_paper_table_iii_examples(self):
+        """Relations from the paper's running example (Fig. 1 / Table III)."""
+        kitchen = inst(360, 420, "K", "On")   # 06:00-07:00
+        toaster = inst(361, 405, "T", "On")   # 06:01-06:45
+        microwave = inst(420, 430, "M", "On")  # 07:00-07:10
+        assert classify(kitchen, toaster, min_overlap=1.0) is Relation.CONTAIN
+        assert classify(kitchen, microwave, min_overlap=1.0) is Relation.FOLLOW
+        assert classify(toaster, microwave, min_overlap=1.0) is Relation.FOLLOW

@@ -1,0 +1,140 @@
+"""Tests for the synthetic dataset generators and the registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ConfigurationError
+from repro.datasets import (
+    ENERGY_PROFILES,
+    SMARTCITY_PROFILE,
+    available_datasets,
+    generate_energy_series,
+    generate_smartcity_series,
+    make_dataset,
+)
+
+
+class TestEnergyGenerator:
+    def test_shape_and_determinism(self):
+        first = generate_energy_series(n_appliances=6, n_days=3, seed=42)
+        second = generate_energy_series(n_appliances=6, n_days=3, seed=42)
+        assert len(first) == 6
+        assert first.names == second.names
+        for name in first.names:
+            assert np.allclose(first[name].values, second[name].values)
+
+    def test_different_seeds_differ(self):
+        a = generate_energy_series(n_appliances=4, n_days=3, seed=1)
+        b = generate_energy_series(n_appliances=4, n_days=3, seed=2)
+        assert any(not np.allclose(a[n].values, b[n].values) for n in a.names)
+
+    def test_series_cover_requested_horizon(self):
+        series_set = generate_energy_series(n_appliances=3, n_days=2, seed=0)
+        for series in series_set:
+            assert series.start_time == 0.0
+            assert series.end_time == pytest.approx(2 * 1440 - 10)
+
+    def test_appliances_actually_switch_on(self):
+        series_set = generate_energy_series(n_appliances=8, n_days=10, seed=0)
+        active = [name for name in series_set.names if np.any(series_set[name].values > 0.05)]
+        # Routine appliances (about two thirds of them) must show activity.
+        assert len(active) >= len(series_set) // 2
+
+    def test_unique_names_at_large_counts(self):
+        series_set = generate_energy_series(n_appliances=60, n_days=1, seed=0)
+        assert len(set(series_set.names)) == 60
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            generate_energy_series(n_appliances=0, n_days=1)
+        with pytest.raises(ConfigurationError):
+            generate_energy_series(n_appliances=1, n_days=0)
+
+
+class TestSmartCityGenerator:
+    def test_shape_and_determinism(self):
+        first = generate_smartcity_series(n_variables=10, n_days=3, seed=7)
+        second = generate_smartcity_series(n_variables=10, n_days=3, seed=7)
+        assert len(first) == 10
+        for name in first.names:
+            assert np.allclose(first[name].values, second[name].values)
+
+    def test_collision_counts_are_non_negative(self):
+        series_set = generate_smartcity_series(n_variables=20, n_days=5, seed=0)
+        for name in series_set.names:
+            if "Injury" in name or "Killed" in name:
+                assert np.all(series_set[name].values >= 0)
+
+    def test_collisions_correlate_with_storminess(self):
+        """Adverse weather drives collisions: precipitation and motorist injury
+        must be positively correlated, unlike an unrelated noise sensor."""
+        series_set = generate_smartcity_series(n_variables=20, n_days=60, seed=3)
+        precipitation = series_set["Precipitation"].values
+        injuries = series_set["Motorist Injury"].values
+        corr = np.corrcoef(precipitation, injuries)[0, 1]
+        assert corr > 0.2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            generate_smartcity_series(n_variables=1, n_days=1)
+        with pytest.raises(ConfigurationError):
+            generate_smartcity_series(n_variables=3, n_days=0)
+        with pytest.raises(ConfigurationError):
+            generate_smartcity_series(n_variables=3, n_days=1, sampling_interval=0)
+
+
+class TestRegistry:
+    def test_available_datasets(self):
+        assert set(available_datasets()) == {"nist", "ukdale", "dataport", "smartcity"}
+
+    def test_profiles_match_paper_table_iv(self):
+        assert ENERGY_PROFILES["nist"]["n_variables"] == 72
+        assert ENERGY_PROFILES["ukdale"]["n_sequences"] == 1520
+        assert ENERGY_PROFILES["dataport"]["n_variables"] == 21
+        assert SMARTCITY_PROFILE["n_variables"] == 59
+
+    def test_scale_controls_sequence_count(self):
+        small = make_dataset("dataport", scale=0.02, seed=0)
+        _, seq_small = small.transform()
+        larger = make_dataset("dataport", scale=0.04, seed=0)
+        _, seq_larger = larger.transform()
+        assert len(seq_larger) > len(seq_small)
+
+    def test_attribute_fraction_controls_variable_count(self):
+        narrow = make_dataset("nist", scale=0.01, attribute_fraction=0.1, seed=0)
+        wide = make_dataset("nist", scale=0.01, attribute_fraction=0.3, seed=0)
+        assert narrow.n_variables < wide.n_variables
+
+    def test_restrict_attributes(self):
+        dataset = make_dataset("dataport", scale=0.02, seed=0)
+        restricted = dataset.restrict_attributes(0.5)
+        assert restricted.n_variables == max(2, round(dataset.n_variables * 0.5))
+        assert restricted.series_set.names == dataset.series_set.names[: restricted.n_variables]
+        with pytest.raises(ConfigurationError):
+            dataset.restrict_attributes(0.0)
+
+    def test_smartcity_uses_multi_state_symbolizers(self):
+        dataset = make_dataset("smartcity", scale=0.01, attribute_fraction=0.2, seed=0)
+        symbolic_db, _ = dataset.transform()
+        alphabet_sizes = {len(series.alphabet) for series in symbolic_db}
+        assert alphabet_sizes <= {4, 5}
+        assert len(alphabet_sizes) >= 1
+
+    def test_energy_transform_produces_on_off_events(self):
+        dataset = make_dataset("ukdale", scale=0.015, attribute_fraction=0.15, seed=0)
+        _, sequence_db = dataset.transform()
+        symbols = {key[1] for key in sequence_db.event_keys()}
+        assert symbols <= {"On", "Off"}
+        assert len(sequence_db) >= 8
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_dataset("does-not-exist")
+
+    def test_scale_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_dataset("nist", scale=0.0)
+        with pytest.raises(ConfigurationError):
+            make_dataset("nist", attribute_fraction=2.0)

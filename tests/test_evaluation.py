@@ -1,0 +1,189 @@
+"""Tests for the evaluation harness (metrics, memory, runner, reporting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MiningConfig, PruningMode, Relation, TemporalPattern
+from repro.core.patterns import PatternMeasures
+from repro.core.result import MinedPattern, MiningResult
+from repro.evaluation import (
+    ExperimentRunner,
+    accuracy,
+    confidence_cdf,
+    format_matrix,
+    format_series,
+    format_table,
+    measure_peak_memory,
+    pruned_patterns,
+    runtime_gain,
+    speedup,
+    sweep_thresholds,
+)
+from repro.exceptions import ConfigurationError
+
+K = ("K", "On")
+T = ("T", "On")
+M = ("M", "On")
+
+
+def make_result(patterns, n_sequences=4, runtime=1.0) -> MiningResult:
+    mined = [
+        MinedPattern(
+            pattern=p,
+            measures=PatternMeasures(support=2, relative_support=0.5, confidence=conf),
+        )
+        for p, conf in patterns
+    ]
+    return MiningResult(
+        patterns=mined,
+        config=MiningConfig(min_support=0.5, min_confidence=0.5, min_overlap=1.0),
+        n_sequences=n_sequences,
+        runtime_seconds=runtime,
+    )
+
+
+P_KT = TemporalPattern((K, T), (Relation.CONTAIN,))
+P_KM = TemporalPattern((K, M), (Relation.CONTAIN,))
+P_TM = TemporalPattern((T, M), (Relation.FOLLOW,))
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        exact = make_result([(P_KT, 0.8), (P_KM, 0.6), (P_TM, 0.3)])
+        approx = make_result([(P_KT, 0.8), (P_KM, 0.6)])
+        assert accuracy(exact, approx) == pytest.approx(2 / 3)
+        assert accuracy(approx, exact) == pytest.approx(1.0)
+
+    def test_accuracy_with_empty_exact_result(self):
+        empty = make_result([])
+        assert accuracy(empty, make_result([(P_KT, 0.5)])) == 1.0
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+        assert speedup(0.0, 0.0) == 1.0
+        assert speedup(1.0, 0.0) == float("inf")
+        with pytest.raises(ConfigurationError):
+            speedup(-1.0, 1.0)
+
+    def test_runtime_gain(self):
+        assert runtime_gain(10.0, 2.0) == pytest.approx(0.8)
+        assert runtime_gain(10.0, 15.0) == 0.0  # clamped
+        assert runtime_gain(0.0, 1.0) == 0.0
+
+    def test_pruned_patterns(self):
+        exact = make_result([(P_KT, 0.8), (P_KM, 0.2)])
+        approx = make_result([(P_KT, 0.8)])
+        missed = pruned_patterns(exact, approx)
+        assert [m.pattern for m in missed] == [P_KM]
+
+    def test_confidence_cdf(self):
+        exact = make_result([(P_KT, 0.1), (P_KM, 0.2), (P_TM, 0.9)])
+        cdf = dict(confidence_cdf(exact.patterns, points=[0.0, 0.2, 0.5, 1.0]))
+        assert cdf[0.0] == 0.0
+        assert cdf[0.2] == pytest.approx(2 / 3)
+        assert cdf[0.5] == pytest.approx(2 / 3)
+        assert cdf[1.0] == 1.0
+
+    def test_confidence_cdf_empty(self):
+        assert confidence_cdf([], points=[0.5]) == [(0.5, 1.0)]
+
+
+class TestMemory:
+    def test_measure_peak_memory_returns_result_and_positive_peak(self):
+        def allocate():
+            return [bytearray(1024) for _ in range(200)]
+
+        result, peak_mb = measure_peak_memory(allocate)
+        assert len(result) == 200
+        assert peak_mb > 0.1  # at least ~200 KiB observed
+
+    def test_larger_allocation_reports_larger_peak(self):
+        _, small = measure_peak_memory(lambda: bytearray(100_000))
+        _, large = measure_peak_memory(lambda: bytearray(5_000_000))
+        assert large > small
+
+
+class TestExperimentRunner:
+    @pytest.fixture()
+    def runner(self, small_energy):
+        _, symbolic_db, sequence_db = small_energy
+        return ExperimentRunner(sequence_db=sequence_db, symbolic_db=symbolic_db)
+
+    def test_run_exact_and_approximate(self, runner, fast_config):
+        exact = runner.run("E-HTPGM", fast_config)
+        assert exact.method == "E-HTPGM"
+        assert exact.n_patterns == len(exact.result)
+        approx = runner.run("A-HTPGM", fast_config, graph_density=0.5)
+        assert approx.result.algorithm == "A-HTPGM"
+        assert approx.extra["graph_density"] == 0.5
+        summary = runner.accuracy_of(exact, approx)
+        assert 0.0 <= summary["accuracy"] <= 1.0
+        assert summary["speedup"] > 0
+
+    def test_unknown_method_rejected(self, runner, fast_config):
+        with pytest.raises(ConfigurationError):
+            runner.run("NotAMiner", fast_config)
+
+    def test_approximate_requires_symbolic_db(self, small_energy, fast_config):
+        _, _, sequence_db = small_energy
+        runner = ExperimentRunner(sequence_db=sequence_db)
+        with pytest.raises(ConfigurationError):
+            runner.run("A-HTPGM", fast_config, graph_density=0.5)
+
+    def test_compare_methods_and_identical_outputs(self, runner, fast_config):
+        records = runner.compare_methods(
+            fast_config, methods=("E-HTPGM", "TPMiner"), approximate_densities=(0.4,)
+        )
+        assert set(records) == {"E-HTPGM", "TPMiner", "A-HTPGM(40%)"}
+        assert records["E-HTPGM"].result.pattern_set() == records["TPMiner"].result.pattern_set()
+
+    def test_pruning_ablation_runs_all_modes(self, runner, fast_config):
+        records = runner.run_pruning_ablation(fast_config)
+        assert set(records) == {mode.value for mode in PruningMode}
+        reference = records["all"].result.pattern_set()
+        assert all(rec.result.pattern_set() == reference for rec in records.values())
+
+    def test_memory_measurement_optional(self, small_energy, fast_config):
+        _, symbolic_db, sequence_db = small_energy
+        runner = ExperimentRunner(
+            sequence_db=sequence_db, symbolic_db=symbolic_db, measure_memory=True
+        )
+        record = runner.run("E-HTPGM", fast_config)
+        assert record.peak_memory_mb is not None and record.peak_memory_mb > 0
+
+
+class TestSweepAndReporting:
+    def test_sweep_thresholds_grid(self):
+        base = MiningConfig(min_support=0.5, min_confidence=0.5, min_overlap=1.0)
+        configs = sweep_thresholds([0.2, 0.5], [0.4, 0.8], base)
+        assert len(configs) == 4
+        assert configs[0].min_support == 0.2 and configs[0].min_confidence == 0.4
+        assert configs[-1].min_support == 0.5 and configs[-1].min_confidence == 0.8
+
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", "y"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_matrix(self):
+        text = format_matrix(
+            ["20", "50"],
+            ["20", "80"],
+            {("20", "20"): 1, ("20", "80"): 2, ("50", "20"): 3, ("50", "80"): 4},
+            corner="supp/conf",
+        )
+        assert "supp/conf" in text
+        assert "4" in text
+
+    def test_format_series(self):
+        text = format_series("x", [1, 2], {"runtime": [0.5, 0.6], "memory": [10, 20]})
+        assert "runtime" in text and "memory" in text
+        with pytest.raises(ValueError):
+            format_series("x", [1, 2], {"runtime": [0.5]})

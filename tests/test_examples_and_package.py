@@ -1,0 +1,73 @@
+"""Smoke tests for the example scripts and the public package surface.
+
+The examples double as documentation; if they crash, the README is lying.
+Each example's ``main()`` is imported and executed (they are written to finish
+in a few seconds on the scaled-down datasets).
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "example",
+    ["quickstart", "energy_patterns", "smartcity_patterns", "approximate_tradeoff", "pattern_analysis"],
+)
+def test_example_runs_to_completion(example, capsys):
+    module = _load_example(example)
+    module.main()
+    output = capsys.readouterr().out
+    assert output.strip(), f"example {example} produced no output"
+
+
+class TestPublicAPI:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing attribute {name}"
+
+    def test_subpackages_importable(self):
+        for module in (
+            "repro.core",
+            "repro.timeseries",
+            "repro.baselines",
+            "repro.datasets",
+            "repro.evaluation",
+            "repro.analysis",
+            "repro.io",
+            "repro.cli",
+        ):
+            assert importlib.import_module(module) is not None
+
+    def test_subpackage_all_exports_resolve(self):
+        for module_name in ("repro.core", "repro.timeseries", "repro.analysis", "repro.evaluation"):
+            module = importlib.import_module(module_name)
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module_name}.__all__ lists missing {name}"
+
+    def test_exception_hierarchy(self):
+        assert issubclass(repro.ConfigurationError, repro.ReproError)
+        assert issubclass(repro.DataError, repro.ReproError)
+        assert issubclass(repro.MiningError, repro.ReproError)
+        assert issubclass(repro.SymbolizationError, repro.DataError)

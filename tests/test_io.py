@@ -1,0 +1,114 @@
+"""Tests for CSV / JSON import-export (repro.io)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DataError, HTPGM, MiningConfig, TimeSeries, TimeSeriesSet
+from repro.io import (
+    read_patterns_json,
+    read_time_series_csv,
+    write_patterns_csv,
+    write_patterns_json,
+    write_symbolic_csv,
+    write_time_series_csv,
+)
+from repro.timeseries import ThresholdSymbolizer, symbolize_set
+
+
+@pytest.fixture()
+def series_set() -> TimeSeriesSet:
+    return TimeSeriesSet(
+        [
+            TimeSeries.from_values("a", [0.0, 1.0, 0.5], step=10.0),
+            TimeSeries.from_values("b", [1.0, 0.0, 0.2], step=10.0),
+        ]
+    )
+
+
+class TestTimeSeriesCSV:
+    def test_roundtrip(self, series_set, tmp_path):
+        path = write_time_series_csv(series_set, tmp_path / "data.csv")
+        loaded = read_time_series_csv(path)
+        assert loaded.names == ["a", "b"]
+        for name in loaded.names:
+            assert np.allclose(loaded[name].values, series_set[name].values)
+            assert np.allclose(loaded[name].timestamps, series_set[name].timestamps)
+
+    def test_write_requires_alignment(self, tmp_path):
+        misaligned = TimeSeriesSet(
+            [
+                TimeSeries.from_values("a", [0.0, 1.0], step=10.0),
+                TimeSeries.from_values("b", [0.0, 1.0, 2.0], step=10.0),
+            ]
+        )
+        with pytest.raises(DataError):
+            write_time_series_csv(misaligned, tmp_path / "x.csv")
+
+    def test_write_empty_rejected(self, tmp_path):
+        with pytest.raises(DataError):
+            write_time_series_csv(TimeSeriesSet([]), tmp_path / "x.csv")
+
+    def test_read_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,a\n0,1\n")
+        with pytest.raises(DataError):
+            read_time_series_csv(path)
+
+    def test_read_rejects_ragged_rows(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("timestamp,a,b\n0,1\n")
+        with pytest.raises(DataError):
+            read_time_series_csv(path)
+
+    def test_read_rejects_non_numeric(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("timestamp,a\n0,not-a-number\n")
+        with pytest.raises(DataError):
+            read_time_series_csv(path)
+
+    def test_read_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataError):
+            read_time_series_csv(path)
+
+    def test_read_rejects_header_only(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("timestamp,a\n")
+        with pytest.raises(DataError):
+            read_time_series_csv(path)
+
+
+class TestSymbolicCSV:
+    def test_write_symbolic(self, series_set, tmp_path):
+        symbolic = symbolize_set(series_set, ThresholdSymbolizer(threshold=0.5))
+        path = write_symbolic_csv(symbolic, tmp_path / "symbols.csv")
+        content = path.read_text().splitlines()
+        assert content[0] == "timestamp,a,b"
+        assert content[1].split(",")[1:] == ["Off", "On"]
+
+
+class TestPatternsIO:
+    @pytest.fixture()
+    def result(self, paper_sequence_db):
+        return HTPGM(
+            MiningConfig(min_support=0.5, min_confidence=0.5, min_overlap=1.0, max_pattern_size=3)
+        ).mine(paper_sequence_db)
+
+    def test_json_roundtrip(self, result, tmp_path):
+        path = write_patterns_json(result, tmp_path / "patterns.json")
+        payload = read_patterns_json(path)
+        assert payload["algorithm"] == "E-HTPGM"
+        assert payload["n_sequences"] == 4
+        assert payload["config"]["min_support"] == 0.5
+        assert len(payload["patterns"]) == len(result)
+        first = payload["patterns"][0]
+        assert {"pattern", "support", "confidence"} <= set(first)
+
+    def test_csv_export(self, result, tmp_path):
+        path = write_patterns_csv(result, tmp_path / "patterns.csv")
+        lines = path.read_text().splitlines()
+        assert lines[0] == "pattern,size,support,relative_support,confidence"
+        assert len(lines) == len(result) + 1

@@ -1,0 +1,141 @@
+"""Tests for the end-to-end FTPMfTS process (repro.pipeline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConfigurationError,
+    FTPMfTS,
+    MiningConfig,
+    SplitConfig,
+    ThresholdSymbolizer,
+    TimeSeries,
+    TimeSeriesSet,
+    mine_time_series,
+)
+
+
+@pytest.fixture()
+def toy_household() -> TimeSeriesSet:
+    """Three days of two correlated appliances plus one independent appliance."""
+    rng = np.random.default_rng(11)
+    n_days, step = 12, 10.0
+    samples_per_day = int(1440 / step)
+    n = n_days * samples_per_day
+    timestamps = np.arange(n) * step
+    kitchen = np.full(n, 0.01)
+    toaster = np.full(n, 0.01)
+    lonely = np.full(n, 0.01)
+    for day in range(n_days):
+        base = day * samples_per_day
+        start = base + int(6.5 * 60 / step) + rng.integers(-2, 3)
+        kitchen[start : start + 6] = 0.4
+        toaster[start + 1 : start + 3] = 1.2
+        lonely_start = base + rng.integers(0, samples_per_day - 4)
+        lonely[lonely_start : lonely_start + 2] = 0.8
+    return TimeSeriesSet(
+        [
+            TimeSeries("Kitchen", timestamps.copy(), kitchen),
+            TimeSeries("Toaster", timestamps.copy(), toaster),
+            TimeSeries("Lonely", timestamps.copy(), lonely),
+        ]
+    )
+
+
+class TestFTPMfTS:
+    def test_transform_produces_both_databases(self, toy_household):
+        process = FTPMfTS(split_config=SplitConfig(window_length=1440.0))
+        symbolic_db, sequence_db = process.transform(toy_household)
+        assert symbolic_db.names == ["Kitchen", "Toaster", "Lonely"]
+        assert len(sequence_db) == 12
+        assert ("Kitchen", "On") in sequence_db.event_keys()
+
+    def test_exact_mining_finds_kitchen_toaster_pattern(self, toy_household):
+        process = FTPMfTS(
+            split_config=SplitConfig(window_length=1440.0),
+            mining_config=MiningConfig(
+                min_support=0.5, min_confidence=0.5, min_overlap=5.0, max_pattern_size=2
+            ),
+        )
+        result = process.mine(toy_household)
+        kitchen_toaster = [
+            m
+            for m in result
+            if {key[0] for key in m.pattern.events} == {"Kitchen", "Toaster"}
+            and all(key[1] == "On" for key in m.pattern.events)
+        ]
+        assert kitchen_toaster, "expected a Kitchen/Toaster On pattern"
+        assert kitchen_toaster[0].confidence >= 0.5
+
+    def test_approximate_mode_prunes_uncorrelated_series(self, toy_household):
+        process = FTPMfTS(
+            split_config=SplitConfig(window_length=1440.0),
+            mining_config=MiningConfig(
+                min_support=0.5, min_confidence=0.5, min_overlap=5.0, max_pattern_size=2
+            ),
+            approximate=True,
+            mi_threshold=0.2,
+        )
+        result = process.mine(toy_household)
+        assert result.algorithm == "A-HTPGM"
+        assert "Lonely" not in (result.correlated_series or [])
+
+    def test_mi_options_rejected_without_approximate(self):
+        with pytest.raises(ConfigurationError):
+            FTPMfTS(split_config=SplitConfig(window_length=100.0), mi_threshold=0.5)
+
+    def test_default_symbolizer_is_threshold(self):
+        process = FTPMfTS(split_config=SplitConfig(window_length=100.0))
+        assert isinstance(process.symbolizers, ThresholdSymbolizer)
+
+    def test_unaligned_input_is_aligned_automatically(self):
+        series_set = TimeSeriesSet(
+            [
+                TimeSeries("a", np.array([0.0, 10.0, 20.0, 30.0]), np.array([0, 1, 1, 0])),
+                TimeSeries("b", np.array([0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0]), np.array([0, 0, 1, 1, 1, 0, 0])),
+            ]
+        )
+        process = FTPMfTS(split_config=SplitConfig(window_length=20.0))
+        symbolic_db, _ = process.transform(series_set)
+        assert symbolic_db.is_aligned()
+
+
+class TestMineTimeSeriesConvenience:
+    def test_one_call_wrapper(self, toy_household):
+        result = mine_time_series(
+            toy_household,
+            window_length=1440.0,
+            min_support=0.5,
+            min_confidence=0.5,
+            min_overlap=5.0,
+            max_pattern_size=2,
+        )
+        assert result.algorithm == "E-HTPGM"
+        assert len(result) > 0
+
+    def test_approximate_wrapper(self, toy_household):
+        result = mine_time_series(
+            toy_household,
+            window_length=1440.0,
+            min_support=0.5,
+            min_confidence=0.5,
+            min_overlap=5.0,
+            max_pattern_size=2,
+            approximate=True,
+            graph_density=0.5,
+        )
+        assert result.algorithm == "A-HTPGM"
+
+    def test_config_kwargs_forwarded(self, toy_household):
+        result = mine_time_series(
+            toy_household,
+            window_length=1440.0,
+            min_support=0.5,
+            min_confidence=0.5,
+            min_overlap=5.0,
+            max_pattern_size=2,
+            pruning="none",
+        )
+        assert result.config.pruning.value == "none"

@@ -1,0 +1,210 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants.
+
+These cover the library's load-bearing invariants:
+
+* bitmap algebra behaves like finite sets;
+* relation classification is a function (never two relations for one pair) and
+  agrees with the individual predicates;
+* pattern extend/project round-trips;
+* entropy / NMI bounds;
+* on random small sequence databases: support anti-monotonicity (Lemma 2),
+  confidence anti-monotonicity (Lemma 6), pruning-mode invariance, baseline
+  equivalence and the A ⊆ E containment.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import HTPGM, Bitmap, MiningConfig, PruningMode, Relation
+from repro.baselines import HDFSMiner, TPMiner
+from repro.core.mutual_information import entropy
+from repro.core.patterns import TemporalPattern, relation_pairs
+from repro.core.relations import classify, contains, follows, overlaps
+from repro.timeseries import EventInstance, SequenceDatabase, TemporalSequence
+
+# --------------------------------------------------------------------------- strategies
+
+bit_indices = st.lists(st.integers(min_value=0, max_value=63), max_size=20)
+
+
+@st.composite
+def two_bitmaps(draw):
+    length = draw(st.integers(min_value=1, max_value=64))
+    a = draw(st.lists(st.integers(min_value=0, max_value=length - 1), max_size=length))
+    b = draw(st.lists(st.integers(min_value=0, max_value=length - 1), max_size=length))
+    return Bitmap.from_indices(length, a), Bitmap.from_indices(length, b), set(a), set(b)
+
+
+@st.composite
+def instance_pairs(draw):
+    """Two chronologically ordered instances with small integer endpoints."""
+    s1 = draw(st.integers(0, 50))
+    d1 = draw(st.integers(1, 30))
+    s2 = draw(st.integers(s1, 60))
+    d2 = draw(st.integers(1, 30))
+    first = EventInstance(float(s1), float(s1 + d1), "A", "On")
+    second = EventInstance(float(s2), float(s2 + d2), "B", "On")
+    return first, second
+
+
+@st.composite
+def small_databases(draw):
+    """Random sequence databases: 3-6 sequences, 3 series, short instances."""
+    n_sequences = draw(st.integers(3, 6))
+    series_names = ["X", "Y", "Z"]
+    sequences = []
+    for seq_id in range(n_sequences):
+        instances = []
+        n_instances = draw(st.integers(2, 6))
+        for _ in range(n_instances):
+            series = draw(st.sampled_from(series_names))
+            start = draw(st.integers(0, 40))
+            duration = draw(st.integers(2, 20))
+            instances.append(
+                EventInstance(float(start), float(start + duration), series, "On")
+            )
+        sequences.append(TemporalSequence(seq_id, instances))
+    return SequenceDatabase(sequences)
+
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+MINING_CONFIG = MiningConfig(
+    min_support=0.5, min_confidence=0.5, min_overlap=1.0, max_pattern_size=3
+)
+
+
+# --------------------------------------------------------------------------- bitmaps
+class TestBitmapProperties:
+    @given(two_bitmaps())
+    def test_bitmap_algebra_matches_set_algebra(self, data):
+        bitmap_a, bitmap_b, set_a, set_b = data
+        assert set((bitmap_a & bitmap_b).indices()) == set_a & set_b
+        assert set((bitmap_a | bitmap_b).indices()) == set_a | set_b
+        assert set((bitmap_a ^ bitmap_b).indices()) == set_a ^ set_b
+        assert set(bitmap_a.difference(bitmap_b).indices()) == set_a - set_b
+        assert bitmap_a.count() == len(set_a)
+
+    @given(two_bitmaps())
+    def test_and_count_never_exceeds_operands(self, data):
+        bitmap_a, bitmap_b, _, _ = data
+        joint = (bitmap_a & bitmap_b).count()
+        assert joint <= bitmap_a.count()
+        assert joint <= bitmap_b.count()
+
+    @given(two_bitmaps())
+    def test_subset_relation_consistent(self, data):
+        bitmap_a, bitmap_b, set_a, set_b = data
+        assert bitmap_a.is_subset_of(bitmap_b) == (set_a <= set_b)
+
+
+# --------------------------------------------------------------------------- relations
+class TestRelationProperties:
+    @given(instance_pairs(), st.floats(0, 2), st.floats(0.5, 5))
+    def test_classification_agrees_with_predicates(self, pair, epsilon, min_overlap):
+        first, second = pair
+        if epsilon > min_overlap:
+            epsilon = min_overlap
+        relation = classify(first, second, epsilon, min_overlap)
+        if relation is Relation.FOLLOW:
+            assert follows(first, second, epsilon)
+        elif relation is Relation.CONTAIN:
+            assert contains(first, second, epsilon)
+        elif relation is Relation.OVERLAP:
+            assert overlaps(first, second, epsilon, min_overlap)
+        else:
+            assert not follows(first, second, epsilon)
+            assert not contains(first, second, epsilon)
+            assert not overlaps(first, second, epsilon, min_overlap)
+
+    @given(instance_pairs())
+    def test_classification_is_deterministic(self, pair):
+        first, second = pair
+        assert classify(first, second, 0.0, 1.0) is classify(first, second, 0.0, 1.0)
+
+
+# --------------------------------------------------------------------------- patterns
+class TestPatternProperties:
+    @given(st.lists(st.sampled_from(list(Relation)), min_size=1, max_size=4))
+    def test_extend_project_roundtrip(self, new_relations):
+        """Extending by one event then dropping it returns the original pattern."""
+        size = len(new_relations)
+        events = tuple((f"S{i}", "On") for i in range(size))
+        base_relations = tuple(
+            Relation.FOLLOW for _ in relation_pairs(size)
+        )
+        base = TemporalPattern(events=events, relations=base_relations)
+        extended = base.extend(("NEW", "On"), tuple(new_relations))
+        assert extended.project(tuple(range(size))) == base
+        assert extended.size == size + 1
+
+    @given(st.integers(2, 6))
+    def test_relation_pairs_count(self, size):
+        assert len(relation_pairs(size)) == size * (size - 1) // 2
+
+
+# --------------------------------------------------------------------------- information theory
+class TestInformationProperties:
+    @given(st.lists(st.floats(0.01, 10.0), min_size=2, max_size=6))
+    def test_entropy_bounds(self, weights):
+        total = sum(weights)
+        distribution = {f"s{i}": w / total for i, w in enumerate(weights)}
+        h = entropy(distribution)
+        assert 0.0 <= h <= len(weights).bit_length() + 1
+        # Entropy is maximised by the uniform distribution of the same arity.
+        uniform = {f"s{i}": 1 / len(weights) for i in range(len(weights))}
+        assert h <= entropy(uniform) + 1e-9
+
+
+# --------------------------------------------------------------------------- mining invariants
+class TestMiningProperties:
+    @RELAXED
+    @given(small_databases())
+    def test_support_and_confidence_anti_monotone(self, database):
+        """Lemmas 2 and 6 on random databases."""
+        result = HTPGM(MINING_CONFIG).mine(database)
+        index = {m.pattern: m for m in result.patterns}
+        for mined in result.patterns:
+            if mined.size < 3:
+                continue
+            for sub in mined.pattern.sub_patterns(mined.size - 1):
+                assert sub in index
+                assert index[sub].support >= mined.support
+                assert index[sub].confidence >= mined.confidence - 1e-12
+
+    @RELAXED
+    @given(small_databases())
+    def test_measures_within_bounds(self, database):
+        result = HTPGM(MINING_CONFIG).mine(database)
+        min_count = MINING_CONFIG.support_count(len(database))
+        for mined in result.patterns:
+            assert mined.support >= min_count
+            assert 0.0 <= mined.relative_support <= 1.0
+            assert MINING_CONFIG.min_confidence <= mined.confidence <= 1.0
+
+    @RELAXED
+    @given(small_databases())
+    def test_pruning_modes_agree(self, database):
+        reference = HTPGM(MINING_CONFIG).mine(database).pattern_set()
+        for mode in (PruningMode.NONE, PruningMode.APRIORI, PruningMode.TRANSITIVITY):
+            assert HTPGM(MINING_CONFIG.with_pruning(mode)).mine(database).pattern_set() == reference
+
+    @RELAXED
+    @given(small_databases())
+    def test_baselines_agree_with_exact_miner(self, database):
+        reference = HTPGM(MINING_CONFIG).mine(database).pattern_set()
+        assert HDFSMiner(MINING_CONFIG).mine(database).pattern_set() == reference
+        assert TPMiner(MINING_CONFIG).mine(database).pattern_set() == reference
+
+    @RELAXED
+    @given(small_databases(), st.floats(0.1, 0.9))
+    def test_higher_support_threshold_mines_fewer_patterns(self, database, support):
+        low = HTPGM(MINING_CONFIG.with_thresholds(min_support=min(0.3, support))).mine(database)
+        high = HTPGM(MINING_CONFIG.with_thresholds(min_support=max(0.7, support))).mine(database)
+        assert high.pattern_set() <= low.pattern_set()

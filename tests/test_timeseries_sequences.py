@@ -1,0 +1,113 @@
+"""Unit tests for repro.timeseries.sequences (DSEQ data model)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DataError, EventInstance, SequenceDatabase, TemporalSequence
+
+
+def inst(series, symbol, start, end):
+    return EventInstance(start=start, end=end, series=series, symbol=symbol)
+
+
+class TestEventInstance:
+    def test_ordering_is_chronological(self):
+        a = inst("x", "On", 0, 5)
+        b = inst("x", "On", 1, 2)
+        c = inst("a", "On", 1, 2)
+        assert sorted([b, a, c]) == [a, c, b]  # ties broken by end then series
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(DataError):
+            inst("x", "On", 5, 4)
+
+    def test_event_key_and_duration(self):
+        instance = inst("Kitchen", "On", 10, 25)
+        assert instance.event_key == ("Kitchen", "On")
+        assert instance.duration == 15
+
+    def test_shift(self):
+        moved = inst("x", "On", 1, 2).shift(10)
+        assert (moved.start, moved.end) == (11, 12)
+        assert moved.event_key == ("x", "On")
+
+
+class TestTemporalSequence:
+    def test_instances_sorted_on_construction(self):
+        sequence = TemporalSequence(0, [inst("b", "On", 5, 6), inst("a", "On", 0, 1)])
+        assert [i.series for i in sequence] == ["a", "b"]
+
+    def test_span_and_len(self):
+        sequence = TemporalSequence(0, [inst("a", "On", 0, 10), inst("b", "On", 3, 20)])
+        assert sequence.span == (0, 20)
+        assert len(sequence) == 2
+
+    def test_span_empty_raises(self):
+        with pytest.raises(DataError):
+            TemporalSequence(0, []).span
+
+    def test_event_queries(self):
+        sequence = TemporalSequence(
+            0, [inst("a", "On", 0, 1), inst("a", "On", 5, 6), inst("b", "Off", 2, 3)]
+        )
+        assert sequence.event_keys() == {("a", "On"), ("b", "Off")}
+        assert len(sequence.instances_of(("a", "On"))) == 2
+        assert sequence.contains_event(("b", "Off"))
+        assert not sequence.contains_event(("b", "On"))
+
+    def test_add_keeps_order(self):
+        sequence = TemporalSequence(0, [inst("a", "On", 5, 6)])
+        sequence.add(inst("b", "On", 0, 1))
+        assert sequence[0].series == "b"
+
+    def test_exact_duplicate_instances_collapse(self):
+        duplicate = inst("a", "On", 0, 5)
+        sequence = TemporalSequence(0, [duplicate, inst("a", "On", 0, 5)])
+        assert len(sequence) == 1
+        sequence.add(duplicate)
+        assert len(sequence) == 1
+
+
+class TestSequenceDatabase:
+    def _db(self) -> SequenceDatabase:
+        return SequenceDatabase(
+            [
+                TemporalSequence(0, [inst("a", "On", 0, 1), inst("b", "On", 2, 3)]),
+                TemporalSequence(1, [inst("a", "On", 0, 1)]),
+                TemporalSequence(2, [inst("b", "On", 0, 1), inst("b", "On", 4, 5)]),
+            ]
+        )
+
+    def test_duplicate_sequence_ids_rejected(self):
+        with pytest.raises(DataError):
+            SequenceDatabase([TemporalSequence(0, []), TemporalSequence(0, [])])
+
+    def test_event_keys_first_appearance_order(self):
+        assert self._db().event_keys() == [("a", "On"), ("b", "On")]
+
+    def test_event_support_counts(self):
+        counts = self._db().event_support_counts()
+        assert counts[("a", "On")] == 2
+        assert counts[("b", "On")] == 2
+
+    def test_series_names(self):
+        assert self._db().series_names() == ["a", "b"]
+
+    def test_average_instances_per_sequence(self):
+        assert self._db().average_instances_per_sequence() == pytest.approx(5 / 3)
+        assert SequenceDatabase([]).average_instances_per_sequence() == 0.0
+
+    def test_restrict_to_series_keeps_sequence_count(self):
+        restricted = self._db().restrict_to_series(["a"])
+        assert len(restricted) == 3  # |DSEQ| unchanged -> relative supports unchanged
+        assert restricted.event_keys() == [("a", "On")]
+
+    def test_subset_fraction(self):
+        db = self._db()
+        assert len(db.subset(0.34)) == 1
+        assert len(db.subset(1.0)) == 3
+        with pytest.raises(DataError):
+            db.subset(0.0)
+        with pytest.raises(DataError):
+            db.subset(1.5)

@@ -1,0 +1,129 @@
+"""Unit tests for repro.timeseries.symbolic (DSYB, intervals, distributions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DataError, SymbolicDatabase, SymbolicSeries
+
+
+def make_series(name: str, symbols: list[str], alphabet=("Off", "On"), step=1.0):
+    timestamps = np.arange(len(symbols), dtype=float) * step
+    return SymbolicSeries(name=name, timestamps=timestamps, symbols=symbols, alphabet=alphabet)
+
+
+class TestSymbolicSeries:
+    def test_validation_rejects_unknown_symbols(self):
+        with pytest.raises(DataError):
+            make_series("x", ["On", "Maybe"])
+
+    def test_validation_rejects_length_mismatch(self):
+        with pytest.raises(DataError):
+            SymbolicSeries("x", np.array([0.0, 1.0]), ["On"], ("Off", "On"))
+
+    def test_validation_rejects_empty(self):
+        with pytest.raises(DataError):
+            SymbolicSeries("x", np.array([]), [], ("Off", "On"))
+
+    def test_distribution_covers_full_alphabet(self):
+        series = make_series("x", ["On", "On", "Off", "On"])
+        dist = series.distribution()
+        assert dist == {"Off": 0.25, "On": 0.75}
+
+    def test_distribution_zero_probability_symbol(self):
+        series = make_series("x", ["On", "On"], alphabet=("Off", "On", "Standby"))
+        dist = series.distribution()
+        assert dist["Standby"] == 0.0
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_codes_match_alphabet_positions(self):
+        series = make_series("x", ["On", "Off", "On"])
+        assert series.codes().tolist() == [1, 0, 1]
+
+    def test_to_intervals_merges_runs(self):
+        # Paper Def. 3.4: consecutive identical symbols combine into one interval.
+        series = make_series("K", ["On", "On", "Off", "Off", "On"], step=5.0)
+        intervals = series.to_intervals()
+        assert [(i.symbol, i.start, i.end) for i in intervals] == [
+            ("On", 0.0, 10.0),
+            ("Off", 10.0, 20.0),
+            ("On", 20.0, 25.0),
+        ]
+
+    def test_to_intervals_single_run_gets_full_span(self):
+        series = make_series("K", ["On", "On", "On"], step=2.0)
+        intervals = series.to_intervals()
+        assert len(intervals) == 1
+        assert intervals[0].duration == pytest.approx(6.0)
+
+    def test_interval_durations_sum_to_span(self):
+        series = make_series("K", ["On", "Off", "Off", "On", "On", "Off"], step=1.0)
+        intervals = series.to_intervals()
+        assert sum(i.duration for i in intervals) == pytest.approx(6.0)
+
+    def test_slice_time(self):
+        series = make_series("x", ["On", "Off", "On", "Off"], step=1.0)
+        window = series.slice_time(1.0, 3.0)
+        assert window.symbols == ["Off", "On"]
+
+    def test_slice_time_empty_raises(self):
+        series = make_series("x", ["On"])
+        with pytest.raises(DataError):
+            series.slice_time(5.0, 6.0)
+
+
+class TestSymbolicDatabase:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(DataError):
+            SymbolicDatabase([make_series("a", ["On"]), make_series("a", ["Off"])])
+
+    def test_getitem_and_select(self):
+        db = SymbolicDatabase([make_series("a", ["On", "Off"]), make_series("b", ["Off", "On"])])
+        assert db["a"].symbols == ["On", "Off"]
+        assert db.select(["b"]).names == ["b"]
+        with pytest.raises(DataError):
+            db["missing"]
+
+    def test_alignment_check_and_cache(self):
+        db = SymbolicDatabase([make_series("a", ["On", "Off"]), make_series("b", ["Off", "On"])])
+        assert db.is_aligned()
+        assert db.is_aligned()  # second call exercises the cached path
+        misaligned = SymbolicDatabase(
+            [make_series("a", ["On", "Off"]), make_series("b", ["Off", "On", "On"])]
+        )
+        assert not misaligned.is_aligned()
+        with pytest.raises(DataError):
+            misaligned.require_aligned()
+
+    def test_joint_distribution_paper_style(self):
+        # Two perfectly synchronised series: p(On, On) = p(Off, Off) = 0.5.
+        db = SymbolicDatabase(
+            [
+                make_series("x", ["On", "Off", "On", "Off"]),
+                make_series("y", ["On", "Off", "On", "Off"]),
+            ]
+        )
+        joint = db.joint_distribution("x", "y")
+        assert joint[("On", "On")] == pytest.approx(0.5)
+        assert joint[("Off", "Off")] == pytest.approx(0.5)
+        assert joint[("On", "Off")] == 0.0
+        assert sum(joint.values()) == pytest.approx(1.0)
+
+    def test_joint_distribution_independent_series(self):
+        db = SymbolicDatabase(
+            [
+                make_series("x", ["On", "On", "Off", "Off"]),
+                make_series("y", ["On", "Off", "On", "Off"]),
+            ]
+        )
+        joint = db.joint_distribution("x", "y")
+        assert all(p == pytest.approx(0.25) for p in joint.values())
+
+    def test_time_span(self):
+        db = SymbolicDatabase([make_series("a", ["On", "Off"], step=5.0)])
+        assert db.time_span == (0.0, 10.0)
+
+    def test_time_span_empty_raises(self):
+        with pytest.raises(DataError):
+            SymbolicDatabase([]).time_span

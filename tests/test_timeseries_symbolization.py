@@ -1,0 +1,158 @@
+"""Unit tests for repro.timeseries.symbolization (the Def. 3.2 mapping functions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ConfigurationError, SymbolizationError, ThresholdSymbolizer, TimeSeries, TimeSeriesSet
+from repro.timeseries import (
+    MappingSymbolizer,
+    QuantileSymbolizer,
+    UniformBinSymbolizer,
+    symbolize_set,
+)
+
+
+class TestThresholdSymbolizer:
+    def test_paper_example_on_off(self):
+        # Paper Section III-A: X = 1.61, 1.21, 0.41, 0.0 with threshold 0.5
+        series = TimeSeries.from_values("X", [1.61, 1.21, 0.41, 0.0])
+        symbolic = ThresholdSymbolizer(threshold=0.5, on_symbol="On", off_symbol="Off").fit_transform(series)
+        assert symbolic.symbols == ["On", "On", "Off", "Off"]
+
+    def test_alphabet_order(self):
+        assert ThresholdSymbolizer().alphabet == ("Off", "On")
+
+    def test_threshold_boundary_is_on(self):
+        symbolizer = ThresholdSymbolizer(threshold=0.05)
+        assert symbolizer.symbol_for(0.05) == "On"
+        assert symbolizer.symbol_for(0.049) == "Off"
+
+    def test_identical_symbols_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdSymbolizer(on_symbol="X", off_symbol="X")
+
+
+class TestQuantileSymbolizer:
+    def test_default_even_percentiles(self):
+        series = TimeSeries.from_values("t", list(range(100)))
+        symbolizer = QuantileSymbolizer(labels=("Low", "Mid", "High")).fit(series)
+        assert symbolizer.symbol_for(0) == "Low"
+        assert symbolizer.symbol_for(50) == "Mid"
+        assert symbolizer.symbol_for(99) == "High"
+
+    def test_explicit_percentiles(self):
+        series = TimeSeries.from_values("t", list(range(101)))
+        symbolizer = QuantileSymbolizer(
+            labels=("A", "B", "C", "D"), percentiles=(25.0, 50.0, 75.0)
+        ).fit(series)
+        assert symbolizer.symbol_for(10) == "A"
+        assert symbolizer.symbol_for(30) == "B"
+        assert symbolizer.symbol_for(60) == "C"
+        assert symbolizer.symbol_for(100) == "D"
+
+    def test_symbol_for_before_fit_raises(self):
+        with pytest.raises(SymbolizationError):
+            QuantileSymbolizer().symbol_for(1.0)
+
+    def test_needs_two_labels(self):
+        with pytest.raises(ConfigurationError):
+            QuantileSymbolizer(labels=("only",))
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QuantileSymbolizer(labels=("A", "A", "B"))
+
+    def test_percentile_count_must_match(self):
+        with pytest.raises(ConfigurationError):
+            QuantileSymbolizer(labels=("A", "B", "C"), percentiles=(50.0,))
+
+    def test_percentiles_must_be_sorted_and_in_range(self):
+        with pytest.raises(ConfigurationError):
+            QuantileSymbolizer(labels=("A", "B", "C"), percentiles=(75.0, 25.0))
+        with pytest.raises(ConfigurationError):
+            QuantileSymbolizer(labels=("A", "B"), percentiles=(0.0,))
+
+    def test_transform_covers_whole_alphabet(self):
+        series = TimeSeries.from_values("t", list(range(50)))
+        symbolic = QuantileSymbolizer(labels=("L", "M", "H")).fit_transform(series)
+        assert set(symbolic.symbols) == {"L", "M", "H"}
+        assert symbolic.alphabet == ("L", "M", "H")
+
+
+class TestMappingSymbolizer:
+    def test_explicit_intervals(self):
+        symbolizer = MappingSymbolizer({"cold": (-50.0, 10.0), "warm": (10.0, 50.0)})
+        assert symbolizer.symbol_for(-5.0) == "cold"
+        assert symbolizer.symbol_for(10.0) == "warm"
+
+    def test_value_outside_ranges_raises(self):
+        symbolizer = MappingSymbolizer({"a": (0.0, 1.0)})
+        with pytest.raises(SymbolizationError):
+            symbolizer.symbol_for(5.0)
+
+    def test_overlapping_intervals_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MappingSymbolizer({"a": (0.0, 2.0), "b": (1.0, 3.0)})
+
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MappingSymbolizer({"a": (2.0, 1.0)})
+
+    def test_empty_mapping_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MappingSymbolizer({})
+
+
+class TestUniformBinSymbolizer:
+    def test_bins_split_value_range(self):
+        series = TimeSeries.from_values("t", [0.0, 3.0, 6.0, 9.0])
+        symbolizer = UniformBinSymbolizer(labels=("lo", "mid", "hi")).fit(series)
+        assert symbolizer.symbol_for(0.5) == "lo"
+        assert symbolizer.symbol_for(4.0) == "mid"
+        assert symbolizer.symbol_for(8.9) == "hi"
+
+    def test_constant_series_maps_to_first_label(self):
+        series = TimeSeries.from_values("t", [2.0, 2.0, 2.0])
+        symbolizer = UniformBinSymbolizer(labels=("lo", "hi")).fit(series)
+        assert symbolizer.symbol_for(2.0) == "lo"
+
+    def test_needs_two_labels(self):
+        with pytest.raises(ConfigurationError):
+            UniformBinSymbolizer(labels=("x",))
+
+
+class TestSymbolizeSet:
+    def test_single_symbolizer_for_all_series(self):
+        series_set = TimeSeriesSet(
+            [
+                TimeSeries.from_values("a", [0.0, 1.0]),
+                TimeSeries.from_values("b", [1.0, 0.0]),
+            ]
+        )
+        db = symbolize_set(series_set, ThresholdSymbolizer(threshold=0.5))
+        assert db.names == ["a", "b"]
+        assert db["a"].symbols == ["Off", "On"]
+        assert db["b"].symbols == ["On", "Off"]
+
+    def test_per_series_symbolizers(self):
+        series_set = TimeSeriesSet(
+            [
+                TimeSeries.from_values("power", [0.0, 1.0]),
+                TimeSeries.from_values("temp", [0.0, 10.0, 20.0, 30.0]),
+            ]
+        )
+        db = symbolize_set(
+            series_set,
+            {
+                "power": ThresholdSymbolizer(threshold=0.5),
+                "temp": QuantileSymbolizer(labels=("cold", "hot")),
+            },
+        )
+        assert db["power"].alphabet == ("Off", "On")
+        assert db["temp"].alphabet == ("cold", "hot")
+
+    def test_missing_symbolizer_raises(self):
+        series_set = TimeSeriesSet([TimeSeries.from_values("a", [0.0])])
+        with pytest.raises(ConfigurationError):
+            symbolize_set(series_set, {"other": ThresholdSymbolizer()})
