@@ -1,0 +1,138 @@
+"""Parallel engine speedup: serial vs process-pool candidate evaluation.
+
+The paper's scalability studies (Figs. 10–13) stress the dimension the
+execution layer parallelises: candidate evaluation at levels 2 and k.  This
+benchmark mines the largest synthetic scalability dataset (the NIST stand-in
+of Fig. 10, at full size) with the serial engine and with the process engine
+at 4 workers, records both runtimes and the speedup, and — on machines with
+enough CPUs for the comparison to be physically meaningful — asserts the
+parallel engine wins by at least 1.5x.
+
+Pattern-set parity between the engines is asserted unconditionally: a speedup
+obtained by mining a different answer would be worthless.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.engine import available_workers
+from repro.datasets import make_dataset
+from repro.evaluation import ExperimentRunner, format_table
+
+from _bench_utils import emit
+
+N_WORKERS = 4
+#: Minimum speedup demanded of the process engine (acceptance criterion).
+MIN_SPEEDUP = 1.5
+
+
+@pytest.fixture(scope="module")
+def speedup_bench(nist_bench):
+    """The largest NIST scalability configuration used in this suite.
+
+    Bigger than ``nist_bench`` (more sequences *and* more attributes, honouring
+    the same ``REPRO_BENCH_SCALE`` knob via the base fixture's construction) so
+    that candidate evaluation — the part the engine parallelises — dominates
+    pool startup and result transfer; at the ``nist_bench`` size the serial
+    miner finishes in ~0.1s and any measured ratio would mostly be scheduling
+    noise.
+    """
+    scale = 0.12 * float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    dataset = make_dataset(
+        "nist", scale=min(scale, 1.0), attribute_fraction=0.5, seed=101
+    )
+    symbolic_db, sequence_db = dataset.transform()
+    return type(nist_bench)(
+        name="nist", symbolic_db=symbolic_db, sequence_db=sequence_db
+    )
+
+
+def _best_of(n_rounds, run):
+    """Best-of-n wall-clock: absorbs warm-up and GC noise at the ~0.1s scale."""
+    timings = []
+    for _ in range(n_rounds):
+        start = time.perf_counter()
+        record = run()
+        timings.append(time.perf_counter() - start)
+    return min(timings), record
+
+
+def test_parallel_speedup_largest_scalability_dataset(speedup_bench, energy_config, benchmark):
+    runner = ExperimentRunner(
+        sequence_db=speedup_bench.sequence_db, symbolic_db=speedup_bench.symbolic_db
+    )
+
+    def run():
+        # Best-of-3 keeps the measured ratio stable on noisy shared CI
+        # runners; the assertion below rides on this margin.
+        serial_seconds, serial_record = _best_of(
+            3, lambda: runner.run("E-HTPGM", energy_config)
+        )
+        parallel_seconds, parallel_record = _best_of(
+            3,
+            lambda: runner.run(
+                "E-HTPGM", energy_config.with_engine("process", N_WORKERS)
+            ),
+        )
+        return serial_seconds, serial_record, parallel_seconds, parallel_record
+
+    serial_seconds, serial_record, parallel_seconds, parallel_record = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else float("inf")
+    cpus = available_workers()
+
+    emit(
+        format_table(
+            ["engine", "runtime (s)", "#patterns"],
+            [
+                ["serial", f"{serial_seconds:.3f}", serial_record.n_patterns],
+                [
+                    f"process ({N_WORKERS} workers)",
+                    f"{parallel_seconds:.3f}",
+                    parallel_record.n_patterns,
+                ],
+                ["speedup", f"{speedup:.2f}x", f"({cpus} CPUs available)"],
+            ],
+            title=(
+                f"Parallel engine ({speedup_bench.name}): "
+                f"{speedup_bench.n_sequences} sequences, "
+                f"{speedup_bench.n_events} events"
+            ),
+        )
+    )
+
+    # Parity is unconditional: both engines must mine the identical pattern set.
+    assert serial_record.result.pattern_set() == parallel_record.result.pattern_set()
+    assert [
+        (m.pattern, m.support, m.confidence) for m in serial_record.result
+    ] == [(m.pattern, m.support, m.confidence) for m in parallel_record.result]
+
+    # The speedup claim needs hardware that can actually run the workers
+    # concurrently; on fewer CPUs the run above still exercises and records
+    # the parallel path, but the ratio only measures scheduling overhead.
+    if cpus >= N_WORKERS:
+        assert speedup >= MIN_SPEEDUP, (
+            f"process engine with {N_WORKERS} workers achieved only "
+            f"{speedup:.2f}x over serial on {cpus} CPUs (need >= {MIN_SPEEDUP}x)"
+        )
+
+
+def test_engine_comparison_helper(nist_bench, energy_config):
+    """ExperimentRunner.run_engine_comparison returns one record per engine."""
+    runner = ExperimentRunner(
+        sequence_db=nist_bench.sequence_db.subset(0.25),
+        symbolic_db=nist_bench.symbolic_db,
+    )
+    records = runner.run_engine_comparison(energy_config, n_workers=2)
+    assert set(records) == {"serial", "process"}
+    assert records["serial"].method == "E-HTPGM[serial]"
+    assert records["process"].result.engine == "process"
+    assert (
+        records["serial"].result.pattern_set()
+        == records["process"].result.pattern_set()
+    )

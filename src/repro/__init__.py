@@ -19,6 +19,28 @@ Quickstart::
     )
     for mined in result.top(5):
         print(mined.describe())
+
+Execution engines
+-----------------
+
+Candidate evaluation — the expensive, embarrassingly parallel core of the
+miner — runs behind a pluggable execution backend (:mod:`repro.core.engine`).
+The default serial engine evaluates in-process; the process engine shards each
+level's candidates across a ``multiprocessing`` worker pool.  Every engine
+mines the **identical** pattern set (enforced by parity and golden-fixture
+tests), so selecting one is purely a performance choice::
+
+    result = mine_time_series(..., engine="process", n_workers=4)
+    # or explicitly:
+    from repro import HTPGM, MiningConfig, ProcessPoolBackend
+    miner = HTPGM(MiningConfig(engine="process", n_workers=4))
+    # or inject a backend you manage yourself:
+    with ProcessPoolBackend(n_workers=4) as backend:
+        result = HTPGM(MiningConfig(), backend=backend).mine(sequence_db)
+
+On the command line, ``repro mine --parallel --workers 4`` selects the process
+engine.  A-HTPGM composes with any engine: its correlation filters run during
+candidate generation in the coordinating process.
 """
 
 from .core import (
@@ -27,12 +49,15 @@ from .core import (
     Bitmap,
     CorrelationGraph,
     EventKey,
+    ExecutionBackend,
     MinedPattern,
     MiningConfig,
     MiningResult,
     MiningStatistics,
+    ProcessPoolBackend,
     PruningMode,
     Relation,
+    SerialBackend,
     TemporalPattern,
     build_correlation_graph,
     confidence_lower_bound,
@@ -81,6 +106,9 @@ __all__ = [
     "Relation",
     "EventKey",
     "Bitmap",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
     "CorrelationGraph",
     "build_correlation_graph",
     "mi_threshold_for_density",

@@ -80,6 +80,17 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--approximate", action="store_true", help="use A-HTPGM instead of E-HTPGM")
     mine.add_argument("--mi-threshold", type=float, default=None, help="A-HTPGM: NMI threshold mu")
     mine.add_argument("--density", type=float, default=None, help="A-HTPGM: correlation-graph density")
+    mine.add_argument(
+        "--parallel",
+        action="store_true",
+        help="shard candidate evaluation across worker processes (same pattern set)",
+    )
+    mine.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for --parallel (default: all available CPUs)",
+    )
     mine.add_argument("--top", type=int, default=10, help="number of patterns to print")
 
     evaluate = subparsers.add_parser(
@@ -97,6 +108,17 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=["E-HTPGM", "A-HTPGM", "TPMiner", "IEMiner", "H-DFS"],
         help="methods to compare",
+    )
+    evaluate.add_argument(
+        "--parallel",
+        action="store_true",
+        help="run the HTPGM miners on the process engine",
+    )
+    evaluate.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for --parallel (default: all available CPUs)",
     )
 
     return parser
@@ -125,6 +147,9 @@ def _symbolizer_from_args(args: argparse.Namespace):
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
+    if args.workers is not None and not args.parallel:
+        print("error: --workers requires --parallel", file=sys.stderr)
+        return 2
     series_set = read_time_series_csv(args.input)
     if args.approximate and args.mi_threshold is None and args.density is None:
         # Sensible default matching the paper's recommendation of a dense graph.
@@ -136,6 +161,8 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         min_overlap=args.min_overlap,
         tmax=args.tmax,
         max_pattern_size=args.max_size,
+        engine="process" if args.parallel else "serial",
+        n_workers=args.workers,
     )
     process = FTPMfTS(
         split_config=SplitConfig(window_length=args.window, overlap=args.overlap),
@@ -160,6 +187,9 @@ def _cmd_mine(args: argparse.Namespace) -> int:
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
+    if args.workers is not None and not args.parallel:
+        print("error: --workers requires --parallel", file=sys.stderr)
+        return 2
     dataset = make_dataset(
         args.dataset, scale=args.scale, attribute_fraction=args.attributes, seed=args.seed
     )
@@ -171,6 +201,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         min_overlap=5.0,
         tmax=360.0,
         max_pattern_size=3,
+        engine="process" if args.parallel else "serial",
+        n_workers=args.workers,
     )
     runner = ExperimentRunner(sequence_db=sequence_db, symbolic_db=symbolic_db)
     rows = []

@@ -2,12 +2,21 @@
 
 This subpackage contains the temporal-relation model, the Hierarchical Pattern
 Graph with its bitmap indexes, the exact miner (E-HTPGM), the mutual-information
-machinery and the approximate miner (A-HTPGM).
+machinery, the approximate miner (A-HTPGM), and the execution layer
+(:mod:`repro.core.engine`) whose backends evaluate level candidates either
+in-process (``SerialBackend``) or sharded across worker processes
+(``ProcessPoolBackend``) — always producing the identical pattern set.
 """
 
 from .approximate import AHTPGM
 from .bitmap import Bitmap
 from .config import MiningConfig, PruningMode
+from .engine import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    backend_from_config,
+)
 from .correlation import (
     CorrelationGraph,
     build_correlation_graph,
@@ -59,6 +68,10 @@ __all__ = [
     "PatternEntry",
     "HTPGM",
     "AHTPGM",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "backend_from_config",
     "entropy",
     "conditional_entropy",
     "mutual_information",

@@ -80,6 +80,14 @@ class MiningConfig:
         with itself through two distinct instances.
     pruning:
         Which pruning techniques to apply (see :class:`PruningMode`).
+    engine:
+        Execution backend evaluating level candidates: ``"serial"`` (the
+        default, in-process) or ``"process"`` (a multiprocessing pool that
+        shards candidate evaluation across workers).  Every engine mines the
+        identical pattern set; see :mod:`repro.core.engine`.
+    n_workers:
+        Worker count for the ``"process"`` engine; ``None`` uses all available
+        CPUs.  Ignored by the serial engine.
     """
 
     min_support: float = 0.5
@@ -90,6 +98,8 @@ class MiningConfig:
     max_pattern_size: int | None = None
     allow_self_relations: bool = True
     pruning: PruningMode = PruningMode.ALL
+    engine: str = "serial"
+    n_workers: int | None = None
 
     def __post_init__(self) -> None:
         if not 0 < self.min_support <= 1:
@@ -120,6 +130,14 @@ class MiningConfig:
             )
         if not isinstance(self.pruning, PruningMode):
             object.__setattr__(self, "pruning", PruningMode(self.pruning))
+        if self.engine not in ("serial", "process"):
+            raise ConfigurationError(
+                f"engine must be 'serial' or 'process', got {self.engine!r}"
+            )
+        if self.n_workers is not None and self.n_workers < 1:
+            raise ConfigurationError(
+                f"n_workers must be >= 1 or None, got {self.n_workers}"
+            )
 
     # ------------------------------------------------------------------ helpers
     def support_count(self, n_sequences: int) -> int:
@@ -136,6 +154,12 @@ class MiningConfig:
     def with_pruning(self, pruning: PruningMode | str) -> "MiningConfig":
         """Copy of this configuration with a different pruning mode."""
         return replace(self, pruning=PruningMode(pruning))
+
+    def with_engine(
+        self, engine: str, n_workers: int | None = None
+    ) -> "MiningConfig":
+        """Copy of this configuration with a different execution backend."""
+        return replace(self, engine=engine, n_workers=n_workers)
 
     def with_thresholds(
         self, min_support: float | None = None, min_confidence: float | None = None

@@ -1,0 +1,577 @@
+"""Execution layer: pluggable backends that evaluate mining candidates.
+
+HTPGM's level-wise search has an embarrassingly parallel core: once the
+candidate event pairs (level 2) or event combinations (level ``k >= 3``) are
+generated, each candidate is evaluated independently — bitmap intersection,
+Apriori checks, instance-pair relation classification and the final
+support/confidence filter touch no shared mutable state.  This module factors
+that per-candidate evaluation out of :class:`~repro.core.htpgm.HTPGM` into pure
+functions over a picklable :class:`LevelContext`, and puts an
+:class:`ExecutionBackend` in front of them:
+
+``SerialBackend``
+    Evaluates candidates in-process, in order — byte-for-byte the behaviour of
+    the original single-threaded miner.
+
+``ProcessPoolBackend``
+    Shards the candidate list across ``n_workers`` processes
+    (:mod:`concurrent.futures`), evaluates each shard with the same pure
+    functions, and merges the per-worker :class:`CombinationNode` lists and
+    :class:`MiningStatistics` deterministically (shard order = candidate
+    order, wall-clock merged as max-of-shards).
+
+Every backend mines the *identical* pattern set; the parity tests in
+``tests/test_engine_parity.py`` and the golden fixtures in ``tests/golden/``
+enforce that invariant.  Backends are selected through
+:attr:`MiningConfig.engine` / :attr:`MiningConfig.n_workers` (see
+:func:`backend_from_config`) or injected directly into ``HTPGM``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Protocol, runtime_checkable
+
+from ..exceptions import ConfigurationError
+from ..timeseries.sequences import EventInstance
+from .bitmap import Bitmap
+from .config import MiningConfig
+from .events import EventKey
+from .hpg import CombinationNode, EventNode, Occurrence, PatternEntry
+from .patterns import TemporalPattern
+from .relations import Relation, classify
+from .stats import MiningStatistics
+
+__all__ = [
+    "Candidate",
+    "LevelContext",
+    "LevelOutcome",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "backend_from_config",
+    "available_workers",
+    "evaluate_candidates",
+]
+
+#: One unit of level work: the event pair (level 2, generation order, possibly
+#: a self-pair) or the canonical sorted event combination (level k >= 3).
+Candidate = tuple[EventKey, ...]
+
+
+def available_workers() -> int:
+    """Number of CPUs this process may actually use (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux platforms
+        return os.cpu_count() or 1
+
+
+# --------------------------------------------------------------------------- context
+@dataclass
+class LevelContext:
+    """Everything a worker needs to evaluate one level's candidates.
+
+    The context is a read-only snapshot of the Hierarchical Pattern Graph
+    restricted to what the level actually consults, so it stays small and
+    picklable:
+
+    * ``level1`` — the :class:`EventNode` of every event appearing in a
+      candidate (bitmaps for the Apriori checks, instance lists for relation
+      classification and extension);
+    * ``parents`` — the frequent ``(k-1)``-combination nodes, keyed by their
+      canonical event tuple (empty at level 2);
+    * ``pair_patterns`` — the frequent 2-event pattern set per pair node, used
+      by the transitivity checks of Lemmas 4–7 (empty when transitivity
+      pruning is off or at level 2).  Shipping only the pattern *identities*
+      instead of the full pair nodes keeps the per-worker payload light.
+    """
+
+    level: int
+    config: MiningConfig
+    min_count: int
+    level1: dict[EventKey, EventNode]
+    parents: dict[tuple[EventKey, ...], CombinationNode] = field(default_factory=dict)
+    pair_patterns: dict[tuple[EventKey, EventKey], frozenset[TemporalPattern]] = field(
+        default_factory=dict
+    )
+
+    def event_support(self, event: EventKey) -> int:
+        """Support of a frequent event (0 when absent, mirroring the graph)."""
+        node = self.level1.get(event)
+        return node.support if node is not None else 0
+
+
+@dataclass
+class LevelOutcome:
+    """What evaluating a batch of candidates produced.
+
+    ``nodes`` holds only combination nodes that retained at least one
+    frequent, confident pattern, in candidate order; ``stats`` holds the work
+    counters bumped during evaluation plus the evaluation wall-clock in
+    ``level_seconds`` (already max-merged across shards for parallel runs).
+    """
+
+    nodes: list[CombinationNode]
+    stats: MiningStatistics
+
+
+# --------------------------------------------------------------------------- evaluation
+def evaluate_candidates(
+    context: LevelContext, candidates: Sequence[Candidate]
+) -> LevelOutcome:
+    """Evaluate candidates in order against a level context (pure function).
+
+    This is the shared worker body of every backend: the serial backend calls
+    it directly, the process-pool backend calls it once per shard in each
+    worker process.  Given the same context and candidates it always produces
+    the same nodes and counters, which is what makes backend parity testable.
+    """
+    started = time.perf_counter()
+    stats = MiningStatistics()
+    nodes: list[CombinationNode] = []
+    evaluate = _evaluate_pair if context.level == 2 else _evaluate_combination
+    for candidate in candidates:
+        node = evaluate(context, candidate, stats)
+        if node is not None:
+            nodes.append(node)
+    stats.level_seconds[context.level] = time.perf_counter() - started
+    return LevelOutcome(nodes=nodes, stats=stats)
+
+
+def _evaluate_pair(
+    context: LevelContext, candidate: Candidate, stats: MiningStatistics
+) -> CombinationNode | None:
+    """Alg. 1 lines 6–14 for one candidate event pair."""
+    config = context.config
+    event_a, event_b = candidate
+    stats.bump(stats.candidates_generated, 2)
+    node_a = context.level1[event_a]
+    node_b = context.level1[event_b]
+    joint = node_a.bitmap & node_b.bitmap
+    joint_support = joint.count()
+    if config.pruning.uses_apriori:
+        if joint_support < context.min_count:
+            stats.bump(stats.pruned_support, 2)
+            return None
+        pair_confidence = joint_support / max(node_a.support, node_b.support)
+        if pair_confidence < config.min_confidence:
+            stats.bump(stats.pruned_confidence, 2)
+            return None
+    if joint_support == 0:
+        return None
+
+    node = CombinationNode(events=tuple(sorted((event_a, event_b))), bitmap=joint)
+    _grow_pair_patterns(config, node, node_a, node_b, stats)
+    return _finalise_node(context, node, stats, level=2)
+
+
+def _grow_pair_patterns(
+    config: MiningConfig,
+    node: CombinationNode,
+    node_a: EventNode,
+    node_b: EventNode,
+    stats: MiningStatistics,
+) -> None:
+    """Classify every chronologically ordered instance pair in shared sequences."""
+    same_event = node_a.event == node_b.event
+    for sequence_id in node.bitmap.indices():
+        instances_a = node_a.instances_by_sequence.get(sequence_id, [])
+        instances_b = node_b.instances_by_sequence.get(sequence_id, [])
+        if same_event:
+            ordered_pairs = combinations(instances_a, 2)
+        else:
+            ordered_pairs = (
+                (min(ia, ib), max(ia, ib))
+                for ia in instances_a
+                for ib in instances_b
+            )
+        for first, second in ordered_pairs:
+            if config.tmax is not None and second.end - first.start > config.tmax:
+                continue
+            stats.bump(stats.relation_checks, 2)
+            relation = classify(first, second, config.epsilon, config.min_overlap)
+            if relation is None:
+                continue
+            pattern = TemporalPattern(
+                events=(first.event_key, second.event_key), relations=(relation,)
+            )
+            node.add_pattern_occurrence(pattern, sequence_id, (first, second))
+
+
+def _evaluate_combination(
+    context: LevelContext, candidate: Candidate, stats: MiningStatistics
+) -> CombinationNode | None:
+    """Alg. 1 lines 16–20 for one candidate k-event combination."""
+    config = context.config
+    level = context.level
+    stats.bump(stats.candidates_generated, level)
+    bitmap = Bitmap.intersect_all(
+        context.level1[event].bitmap for event in candidate
+    )
+    support = bitmap.count()
+    if config.pruning.uses_apriori:
+        if support < context.min_count:
+            stats.bump(stats.pruned_support, level)
+            return None
+        max_event_support = max(context.event_support(event) for event in candidate)
+        if support / max_event_support < config.min_confidence:
+            stats.bump(stats.pruned_confidence, level)
+            return None
+    if support == 0:
+        return None
+
+    node = CombinationNode(events=candidate, bitmap=bitmap)
+    _grow_combination_patterns(context, node, stats)
+    return _finalise_node(context, node, stats, level)
+
+
+def _grow_combination_patterns(
+    context: LevelContext, node: CombinationNode, stats: MiningStatistics
+) -> None:
+    """Extend every (k-1)-pattern of every parent node with the remaining event.
+
+    Every k-event pattern has a unique chronologically last event, so the
+    decomposition (parent = pattern without its last event, new event = the
+    last event) generates each pattern exactly once.
+    """
+    config = context.config
+    for new_event in node.events:
+        parent_key = tuple(e for e in node.events if e != new_event)
+        parent = context.parents.get(parent_key)
+        if parent is None:
+            continue
+        new_event_node = context.level1[new_event]
+        for entry in parent.patterns.values():
+            if config.pruning.uses_transitivity and not _may_extend(
+                context, entry.pattern, new_event, stats
+            ):
+                continue
+            _extend_entry(context, node, entry, new_event_node, stats)
+
+
+def _pair_key(event_a: EventKey, event_b: EventKey) -> tuple[EventKey, EventKey]:
+    """Canonical (sorted) key of an unordered event pair."""
+    return (event_a, event_b) if event_a <= event_b else (event_b, event_a)
+
+
+def _may_extend(
+    context: LevelContext,
+    pattern: TemporalPattern,
+    new_event: EventKey,
+    stats: MiningStatistics,
+) -> bool:
+    """Lemma 5: every pattern event must share a frequent pair node with the new event."""
+    for event in pattern.events:
+        if not context.pair_patterns.get(_pair_key(event, new_event)):
+            stats.bump(stats.pruned_relation_checks, context.level)
+            return False
+    return True
+
+
+def _extend_entry(
+    context: LevelContext,
+    node: CombinationNode,
+    entry: PatternEntry,
+    new_event_node: EventNode,
+    stats: MiningStatistics,
+) -> None:
+    """Extend the stored occurrences of one (k-1)-pattern with the new event."""
+    config = context.config
+    pattern = entry.pattern
+    for sequence_id, occurrences in entry.occurrences.items():
+        new_instances = new_event_node.instances_by_sequence.get(sequence_id)
+        if not new_instances:
+            continue
+        for occurrence in occurrences:
+            last_instance = occurrence[-1]
+            first_instance = occurrence[0]
+            for candidate_instance in new_instances:
+                if candidate_instance <= last_instance:
+                    continue
+                if (
+                    config.tmax is not None
+                    and candidate_instance.end - first_instance.start > config.tmax
+                ):
+                    continue
+                extension = _relations_for_extension(
+                    context, occurrence, candidate_instance, stats
+                )
+                if extension is None:
+                    continue
+                new_pattern = pattern.extend(candidate_instance.event_key, extension)
+                node.add_pattern_occurrence(
+                    new_pattern, sequence_id, occurrence + (candidate_instance,)
+                )
+
+
+def _relations_for_extension(
+    context: LevelContext,
+    occurrence: Occurrence,
+    new_instance: EventInstance,
+    stats: MiningStatistics,
+) -> tuple[Relation, ...] | None:
+    """Relations between every existing instance and the new one, or None.
+
+    When transitivity pruning is active each new relation is verified against
+    the level-2 pattern set (Lemmas 4, 6, 7): a triple that is not a frequent,
+    confident 2-event pattern can never appear inside a frequent, confident
+    k-event pattern, so the extension is rejected early.
+    """
+    config = context.config
+    relations = []
+    for instance in occurrence:
+        stats.bump(stats.relation_checks, context.level)
+        relation = classify(instance, new_instance, config.epsilon, config.min_overlap)
+        if relation is None:
+            return None
+        if config.pruning.uses_transitivity:
+            triple = TemporalPattern(
+                events=(instance.event_key, new_instance.event_key),
+                relations=(relation,),
+            )
+            known = context.pair_patterns.get(
+                _pair_key(instance.event_key, new_instance.event_key)
+            )
+            if not known or triple not in known:
+                stats.bump(stats.pruned_relation_checks, context.level)
+                return None
+        relations.append(relation)
+    return tuple(relations)
+
+
+def _finalise_node(
+    context: LevelContext,
+    node: CombinationNode,
+    stats: MiningStatistics,
+    level: int,
+) -> CombinationNode | None:
+    """Keep only frequent, confident patterns; return the node when non-empty."""
+    config = context.config
+    keep: set[TemporalPattern] = set()
+    for pattern, entry in node.patterns.items():
+        support = entry.support
+        if support < context.min_count:
+            continue
+        max_event_support = max(
+            context.event_support(event) for event in pattern.events
+        )
+        if max_event_support == 0:
+            continue
+        if support / max_event_support < config.min_confidence:
+            continue
+        keep.add(pattern)
+    node.prune_patterns(keep)
+    if node.has_patterns():
+        stats.bump(stats.patterns_found, level, len(node.patterns))
+        return node
+    return None
+
+
+# --------------------------------------------------------------------------- backends
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Strategy evaluating one level's candidates against a context.
+
+    Implementations must be *semantically transparent*: for the same
+    ``(context, candidates)`` input they must produce the same nodes (in
+    candidate order) and the same counter totals as
+    :func:`evaluate_candidates` run serially.  ``level_seconds`` is the one
+    allowed difference — parallel backends report the max over shards, which
+    the miner then combines with its own merge overhead.
+    """
+
+    name: str
+
+    def run(self, context: LevelContext, candidates: Sequence[Candidate]) -> LevelOutcome:
+        """Evaluate all candidates and return the merged outcome."""
+        ...
+
+    def close(self) -> None:
+        """Release any resources (worker processes); idempotent."""
+        ...
+
+
+class SerialBackend:
+    """In-process, in-order evaluation — the original single-threaded miner."""
+
+    name = "serial"
+
+    def run(self, context: LevelContext, candidates: Sequence[Candidate]) -> LevelOutcome:
+        return evaluate_candidates(context, candidates)
+
+    def close(self) -> None:  # nothing to release
+        pass
+
+    def __enter__(self) -> "SerialBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return "SerialBackend()"
+
+
+def _evaluate_shard(context: LevelContext, candidates: list[Candidate]) -> LevelOutcome:
+    """Worker entry point when the context travels by pickle (spawn platforms)."""
+    return evaluate_candidates(context, candidates)
+
+
+#: Level context inherited by forked workers through copy-on-write memory.
+#: Set by :meth:`ProcessPoolBackend.run` immediately before the per-level pool
+#: forks, so the (potentially large) context never crosses a pipe.
+_FORK_CONTEXT: LevelContext | None = None
+
+
+def _evaluate_shard_forked(candidates: list[Candidate]) -> LevelOutcome:
+    """Worker entry point when the context was inherited at fork time."""
+    assert _FORK_CONTEXT is not None, "fork worker started without a level context"
+    return evaluate_candidates(_FORK_CONTEXT, candidates)
+
+
+def _fork_available() -> bool:
+    """Whether copy-on-write worker processes are supported (Linux/macOS)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class ProcessPoolBackend:
+    """Shards candidate evaluation across ``n_workers`` processes.
+
+    Candidates are split into contiguous near-equal shards (one per busy
+    worker) so concatenating the shard results in submission order reproduces
+    the serial candidate order exactly; statistics merge via
+    :meth:`MiningStatistics.merge_shard` (counters add, wall-clock maxes).
+
+    Two transports are used for the level context (event nodes, parent
+    patterns), which is by far the largest payload:
+
+    * On fork-capable platforms a fresh pool is forked per level and the
+      workers inherit the context through copy-on-write memory — only the
+      candidate shards (tuples of event keys) are pickled in, and only the
+      surviving nodes are pickled out.
+    * On spawn-only platforms (Windows) a persistent pool is kept and the
+      context is pickled once per shard.
+
+    Batches smaller than ``min_candidates_per_worker * 2`` are evaluated
+    in-process: for tiny levels the scheduling overhead dwarfs the work being
+    distributed.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        n_workers: int | None = None,
+        min_candidates_per_worker: int = 4,
+    ) -> None:
+        if n_workers is not None and n_workers < 1:
+            raise ConfigurationError(
+                f"n_workers must be >= 1 or None, got {n_workers}"
+            )
+        if min_candidates_per_worker < 1:
+            raise ConfigurationError(
+                "min_candidates_per_worker must be >= 1, "
+                f"got {min_candidates_per_worker}"
+            )
+        self.n_workers = n_workers if n_workers is not None else available_workers()
+        self.min_candidates_per_worker = min_candidates_per_worker
+        self._executor: ProcessPoolExecutor | None = None
+
+    # ------------------------------------------------------------------ lifecycle
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.n_workers)
+        return self._executor
+
+    def close(self) -> None:
+        """Shut any persistent worker pool down (recreated on the next run)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ProcessPoolBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ execution
+    def run(self, context: LevelContext, candidates: Sequence[Candidate]) -> LevelOutcome:
+        candidates = list(candidates)
+        n_shards = min(
+            self.n_workers,
+            max(1, len(candidates) // self.min_candidates_per_worker),
+        )
+        if n_shards <= 1:
+            return evaluate_candidates(context, candidates)
+        shards = _split_contiguous(candidates, n_shards)
+        if _fork_available():
+            outcomes = self._run_forked(context, shards)
+        else:  # pragma: no cover - spawn-only platforms
+            executor = self._ensure_executor()
+            futures = [
+                executor.submit(_evaluate_shard, context, shard) for shard in shards
+            ]
+            outcomes = [future.result() for future in futures]
+        return _merge_outcomes(outcomes)
+
+    def _run_forked(
+        self, context: LevelContext, shards: list[list[Candidate]]
+    ) -> list[LevelOutcome]:
+        """Fork a per-level pool whose workers inherit the context for free."""
+        global _FORK_CONTEXT
+        _FORK_CONTEXT = context
+        try:
+            with ProcessPoolExecutor(
+                max_workers=len(shards),
+                mp_context=multiprocessing.get_context("fork"),
+            ) as executor:
+                futures = [
+                    executor.submit(_evaluate_shard_forked, shard) for shard in shards
+                ]
+                return [future.result() for future in futures]
+        finally:
+            _FORK_CONTEXT = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ProcessPoolBackend(n_workers={self.n_workers})"
+
+
+def _merge_outcomes(outcomes: Sequence[LevelOutcome]) -> LevelOutcome:
+    """Concatenate shard nodes in submission order and merge shard statistics."""
+    nodes: list[CombinationNode] = []
+    stats = MiningStatistics()
+    for outcome in outcomes:
+        nodes.extend(outcome.nodes)
+        stats.merge_shard(outcome.stats)
+    return LevelOutcome(nodes=nodes, stats=stats)
+
+
+def _split_contiguous(items: list[Candidate], n_shards: int) -> list[list[Candidate]]:
+    """Split into ``n_shards`` contiguous chunks whose sizes differ by at most 1."""
+    base, extra = divmod(len(items), n_shards)
+    shards = []
+    start = 0
+    for shard_index in range(n_shards):
+        size = base + (1 if shard_index < extra else 0)
+        shards.append(items[start : start + size])
+        start += size
+    return shards
+
+
+def backend_from_config(config: MiningConfig) -> ExecutionBackend:
+    """Instantiate the backend selected by ``config.engine`` / ``config.n_workers``."""
+    if config.engine == "serial":
+        return SerialBackend()
+    if config.engine == "process":
+        return ProcessPoolBackend(n_workers=config.n_workers)
+    raise ConfigurationError(  # pragma: no cover - caught by MiningConfig validation
+        f"unknown engine {config.engine!r}; known: 'serial', 'process'"
+    )

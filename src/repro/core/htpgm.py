@@ -15,13 +15,25 @@ The miner works level by level over the Hierarchical Pattern Graph:
   instances of the new event, verifying each new relation against level 2
   (Lemmas 4, 6, 7) before accepting it (Alg. 1, lines 15–20).
 
+Candidate *generation* (cheap, order-sensitive) happens here; candidate
+*evaluation* (expensive, embarrassingly parallel) is delegated to an
+:class:`~repro.core.engine.ExecutionBackend`.  The default
+``SerialBackend`` evaluates in-process exactly like the original
+single-threaded miner; ``ProcessPoolBackend`` shards each level's candidates
+across worker processes.  Select a backend via ``MiningConfig(engine=
+"process", n_workers=4)`` or inject one through the ``backend`` argument;
+every backend produces the identical pattern set (enforced by the parity and
+golden-fixture tests).
+
 Both pruning families can be switched off through
 :class:`~repro.core.config.PruningMode`, which only changes the amount of work,
 never the mined pattern set — this is what the ablation of Figs. 6–7 measures.
 
 The miner accepts two optional filters used by the approximate variant
 (A-HTPGM): ``event_filter`` restricts which events enter level 1 and
-``pair_filter`` restricts which event pairs are considered at level 2.
+``pair_filter`` restricts which event pairs are considered at level 2.  Both
+filters run during candidate generation, i.e. in the coordinating process, so
+they may be arbitrary (unpicklable) callables under any backend.
 """
 
 from __future__ import annotations
@@ -31,13 +43,13 @@ from collections.abc import Callable
 from itertools import combinations
 
 from ..exceptions import MiningError
-from ..timeseries.sequences import EventInstance, SequenceDatabase
+from ..timeseries.sequences import SequenceDatabase
 from .bitmap import Bitmap
 from .config import MiningConfig
+from .engine import Candidate, ExecutionBackend, LevelContext, backend_from_config
 from .events import EventKey, collect_events
-from .hpg import CombinationNode, EventNode, HierarchicalPatternGraph, Occurrence, PatternEntry
+from .hpg import EventNode, HierarchicalPatternGraph
 from .patterns import PatternMeasures, TemporalPattern
-from .relations import Relation, classify
 from .result import MinedPattern, MiningResult
 from .stats import MiningStatistics
 
@@ -49,16 +61,34 @@ EventFilter = Callable[[EventKey], bool]
 PairFilter = Callable[[EventKey, EventKey], bool]
 
 
+def _restrict_level1(
+    graph: HierarchicalPatternGraph, candidates: list[Candidate]
+) -> dict[EventKey, EventNode]:
+    """Level-1 nodes of only the events appearing in ``candidates``.
+
+    The level context travels to worker processes, so shipping just the
+    needed event nodes (bitmaps + instance lists) keeps the payload minimal
+    when filters or transitivity pruning have narrowed the candidate set.
+    """
+    needed = {event for candidate in candidates for event in candidate}
+    return {event: graph.level1[event] for event in graph.level1 if event in needed}
+
+
 class HTPGM:
     """Exact frequent temporal pattern miner (E-HTPGM).
 
     Parameters
     ----------
     config:
-        Thresholds, relation buffers and pruning switches.
+        Thresholds, relation buffers, pruning switches and engine selection.
     event_filter, pair_filter:
         Optional predicates used by A-HTPGM to exclude uncorrelated series;
         ``None`` (the default) keeps everything, which is the exact algorithm.
+    backend:
+        Execution backend evaluating level candidates.  ``None`` (the default)
+        resolves one from ``config.engine`` for each :meth:`mine` call and
+        closes it afterwards; an explicitly injected backend is reused across
+        calls and stays owned (and closed) by the caller.
 
     After :meth:`mine` the constructed Hierarchical Pattern Graph is available
     as :attr:`graph_` for inspection and testing.
@@ -69,12 +99,20 @@ class HTPGM:
         config: MiningConfig | None = None,
         event_filter: EventFilter | None = None,
         pair_filter: PairFilter | None = None,
+        backend: ExecutionBackend | None = None,
     ) -> None:
         self.config = config or MiningConfig()
         self.event_filter = event_filter
         self.pair_filter = pair_filter
+        self.backend = backend
         self.graph_: HierarchicalPatternGraph | None = None
         self.statistics_: MiningStatistics | None = None
+        # Level 2 is immutable once mined, so its pattern-identity snapshot
+        # (used by the transitivity checks at every level >= 3) is built once
+        # per run and reused.
+        self._pair_patterns: dict[
+            tuple[EventKey, EventKey], frozenset[TemporalPattern]
+        ] | None = None
 
     # ------------------------------------------------------------------ public API
     def mine(self, database: SequenceDatabase) -> MiningResult:
@@ -87,25 +125,32 @@ class HTPGM:
         stats = MiningStatistics(n_sequences=len(database))
         min_count = config.support_count(len(database))
         graph = HierarchicalPatternGraph(n_sequences=len(database))
-        # Expose the graph immediately: the level-k extension helpers consult
-        # level 2 through it while the upper levels are still being built.
         self.graph_ = graph
+        self._pair_patterns = None
 
-        self._mine_single_events(database, graph, stats, min_count)
-        max_size = config.max_pattern_size
-        if max_size is None or max_size >= 2:
-            self._mine_pairs(graph, stats, min_count)
-            level = 3
-            while (max_size is None or level <= max_size) and graph.nodes_at(level - 1):
-                produced = self._mine_level(graph, stats, min_count, level)
-                if not produced:
-                    break
-                level += 1
+        backend = self.backend
+        owns_backend = backend is None
+        if owns_backend:
+            backend = backend_from_config(config)
+        try:
+            self._mine_single_events(database, graph, stats, min_count)
+            max_size = config.max_pattern_size
+            if max_size is None or max_size >= 2:
+                self._mine_pairs(graph, stats, min_count, backend)
+                level = 3
+                while (max_size is None or level <= max_size) and graph.nodes_at(level - 1):
+                    produced = self._mine_level(graph, stats, min_count, level, backend)
+                    if not produced:
+                        break
+                    level += 1
+        finally:
+            if owns_backend:
+                backend.close()
 
         runtime = time.perf_counter() - started
         self.graph_ = graph
         self.statistics_ = stats
-        return self._build_result(graph, stats, runtime)
+        return self._build_result(graph, stats, runtime, backend)
 
     # ------------------------------------------------------------------ level 1
     def _mine_single_events(
@@ -143,78 +188,33 @@ class HTPGM:
         graph: HierarchicalPatternGraph,
         stats: MiningStatistics,
         min_count: int,
+        backend: ExecutionBackend,
     ) -> None:
-        """Alg. 1 lines 5–14: frequent 2-event patterns."""
+        """Alg. 1 lines 5–14: frequent 2-event patterns.
+
+        Generates the candidate pairs (applying A-HTPGM's ``pair_filter``
+        here, in the coordinating process), then delegates the per-pair
+        evaluation to the backend.
+        """
         level_start = time.perf_counter()
         config = self.config
         frequent = graph.frequent_events()
 
-        candidate_pairs: list[tuple[EventKey, EventKey]] = list(combinations(frequent, 2))
+        candidate_pairs: list[Candidate] = list(combinations(frequent, 2))
         if config.allow_self_relations:
             candidate_pairs.extend((event, event) for event in frequent)
+        if self.pair_filter is not None:
+            candidate_pairs = [
+                pair for pair in candidate_pairs if self.pair_filter(*pair)
+            ]
 
-        for event_a, event_b in candidate_pairs:
-            if self.pair_filter is not None and not self.pair_filter(event_a, event_b):
-                continue
-            stats.bump(stats.candidates_generated, 2)
-            node_a = graph.level1[event_a]
-            node_b = graph.level1[event_b]
-            joint = node_a.bitmap & node_b.bitmap
-            joint_support = joint.count()
-            if config.pruning.uses_apriori:
-                if joint_support < min_count:
-                    stats.bump(stats.pruned_support, 2)
-                    continue
-                pair_confidence = joint_support / max(node_a.support, node_b.support)
-                if pair_confidence < config.min_confidence:
-                    stats.bump(stats.pruned_confidence, 2)
-                    continue
-            if joint_support == 0:
-                continue
-
-            node = CombinationNode(
-                events=tuple(sorted((event_a, event_b))), bitmap=joint
-            )
-            self._grow_pair_patterns(node, node_a, node_b, stats)
-            self._finalise_node(graph, node, stats, min_count, level=2)
-
-        stats.level_seconds[2] = time.perf_counter() - level_start
-
-    def _grow_pair_patterns(
-        self,
-        node: CombinationNode,
-        node_a: EventNode,
-        node_b: EventNode,
-        stats: MiningStatistics,
-    ) -> None:
-        """Classify every chronologically ordered instance pair in shared sequences."""
-        config = self.config
-        same_event = node_a.event == node_b.event
-        for sequence_id in node.bitmap.indices():
-            instances_a = node_a.instances_by_sequence.get(sequence_id, [])
-            instances_b = node_b.instances_by_sequence.get(sequence_id, [])
-            if same_event:
-                ordered_pairs = combinations(instances_a, 2)
-            else:
-                ordered_pairs = (
-                    (min(ia, ib), max(ia, ib))
-                    for ia in instances_a
-                    for ib in instances_b
-                )
-            for first, second in ordered_pairs:
-                if (
-                    config.tmax is not None
-                    and second.end - first.start > config.tmax
-                ):
-                    continue
-                stats.bump(stats.relation_checks, 2)
-                relation = classify(first, second, config.epsilon, config.min_overlap)
-                if relation is None:
-                    continue
-                pattern = TemporalPattern(
-                    events=(first.event_key, second.event_key), relations=(relation,)
-                )
-                node.add_pattern_occurrence(pattern, sequence_id, (first, second))
+        context = LevelContext(
+            level=2,
+            config=config,
+            min_count=min_count,
+            level1=_restrict_level1(graph, candidate_pairs),
+        )
+        self._run_level(graph, stats, backend, context, candidate_pairs, level_start)
 
     # ------------------------------------------------------------------ level k >= 3
     def _mine_level(
@@ -223,6 +223,7 @@ class HTPGM:
         stats: MiningStatistics,
         min_count: int,
         level: int,
+        backend: ExecutionBackend,
     ) -> bool:
         """Alg. 1 lines 15–20: frequent k-event patterns for one level."""
         level_start = time.perf_counter()
@@ -247,7 +248,7 @@ class HTPGM:
         # Self-relation nodes (the same event paired with itself) are only kept
         # for their own 2-event patterns and are not grown further, so every
         # combination of three or more events consists of distinct events.
-        candidates: set[tuple[EventKey, ...]] = set()
+        candidates: set[Candidate] = set()
         for node in prev_nodes:
             node_events = set(node.events)
             if len(node_events) < len(node.events):
@@ -257,201 +258,67 @@ class HTPGM:
                     continue
                 candidates.add(tuple(sorted((*node.events, event))))
 
-        produced = False
-        for candidate in sorted(candidates):
-            stats.bump(stats.candidates_generated, level)
-            bitmap = self._candidate_bitmap(graph, candidate)
-            support = bitmap.count()
-            if config.pruning.uses_apriori:
-                if support < min_count:
-                    stats.bump(stats.pruned_support, level)
-                    continue
-                max_event_support = max(
-                    graph.event_support(event) for event in candidate
-                )
-                if support / max_event_support < config.min_confidence:
-                    stats.bump(stats.pruned_confidence, level)
-                    continue
-            if support == 0:
-                continue
-
-            node = CombinationNode(events=candidate, bitmap=bitmap)
-            self._grow_candidate_patterns(graph, node, stats, level)
-            if self._finalise_node(graph, node, stats, min_count, level):
-                produced = True
-
-        stats.level_seconds[level] = time.perf_counter() - level_start
-        return produced
-
-    def _candidate_bitmap(
-        self, graph: HierarchicalPatternGraph, candidate: tuple[EventKey, ...]
-    ) -> Bitmap:
-        """AND of the level-1 bitmaps of every event in the candidate."""
-        bitmap = graph.level1[candidate[0]].bitmap
-        for event in candidate[1:]:
-            bitmap = bitmap & graph.level1[event].bitmap
-        return bitmap
-
-    def _grow_candidate_patterns(
-        self,
-        graph: HierarchicalPatternGraph,
-        node: CombinationNode,
-        stats: MiningStatistics,
-        level: int,
-    ) -> None:
-        """Extend every (k-1)-pattern of every parent node with the remaining event.
-
-        Every k-event pattern has a unique chronologically last event, so the
-        decomposition (parent = pattern without its last event, new event = the
-        last event) generates each pattern exactly once.
-        """
-        config = self.config
-        for new_event in node.events:
-            parent_key = tuple(e for e in node.events if e != new_event)
-            parent = graph.node_for(parent_key)
-            if parent is None:
-                continue
-            new_event_node = graph.level1[new_event]
-            for entry in parent.patterns.values():
-                if config.pruning.uses_transitivity and not self._may_extend(
-                    graph, entry.pattern, new_event, stats, level
-                ):
-                    continue
-                self._extend_entry(node, entry, new_event_node, stats, level)
-
-    def _may_extend(
-        self,
-        graph: HierarchicalPatternGraph,
-        pattern: TemporalPattern,
-        new_event: EventKey,
-        stats: MiningStatistics,
-        level: int,
-    ) -> bool:
-        """Lemma 5: every pattern event must share a frequent pair node with the new event."""
-        for event in pattern.events:
-            pair_node = graph.pair_node(event, new_event)
-            if pair_node is None or not pair_node.has_patterns():
-                stats.bump(stats.pruned_relation_checks, level)
-                return False
-        return True
-
-    def _extend_entry(
-        self,
-        node: CombinationNode,
-        entry: PatternEntry,
-        new_event_node: EventNode,
-        stats: MiningStatistics,
-        level: int,
-    ) -> None:
-        """Extend the stored occurrences of one (k-1)-pattern with the new event."""
-        config = self.config
-        pattern = entry.pattern
-        for sequence_id, occurrences in entry.occurrences.items():
-            new_instances = new_event_node.instances_by_sequence.get(sequence_id)
-            if not new_instances:
-                continue
-            for occurrence in occurrences:
-                last_instance = occurrence[-1]
-                first_instance = occurrence[0]
-                for candidate_instance in new_instances:
-                    if candidate_instance <= last_instance:
-                        continue
-                    if (
-                        config.tmax is not None
-                        and candidate_instance.end - first_instance.start > config.tmax
-                    ):
-                        continue
-                    extension = self._relations_for_extension(
-                        occurrence, candidate_instance, stats, level
-                    )
-                    if extension is None:
-                        continue
-                    new_pattern = pattern.extend(
-                        candidate_instance.event_key, extension
-                    )
-                    node.add_pattern_occurrence(
-                        new_pattern, sequence_id, occurrence + (candidate_instance,)
-                    )
-
-    def _relations_for_extension(
-        self,
-        occurrence: Occurrence,
-        new_instance: EventInstance,
-        stats: MiningStatistics,
-        level: int,
-    ) -> tuple[Relation, ...] | None:
-        """Relations between every existing instance and the new one, or None.
-
-        When transitivity pruning is active each new relation is verified
-        against the level-2 pattern set (Lemmas 4, 6, 7): a triple that is not a
-        frequent, confident 2-event pattern can never appear inside a frequent,
-        confident k-event pattern, so the extension is rejected early.
-        """
-        config = self.config
-        graph = self.graph_building_
-        relations = []
-        for instance in occurrence:
-            stats.bump(stats.relation_checks, level)
-            relation = classify(
-                instance, new_instance, config.epsilon, config.min_overlap
-            )
-            if relation is None:
-                return None
-            if config.pruning.uses_transitivity:
-                pair_node = graph.pair_node(instance.event_key, new_instance.event_key)
-                triple = TemporalPattern(
-                    events=(instance.event_key, new_instance.event_key),
-                    relations=(relation,),
-                )
-                if pair_node is None or triple not in pair_node.patterns:
-                    stats.bump(stats.pruned_relation_checks, level)
-                    return None
-            relations.append(relation)
-        return tuple(relations)
+        pair_patterns: dict[tuple[EventKey, EventKey], frozenset[TemporalPattern]] = {}
+        if config.pruning.uses_transitivity:
+            if self._pair_patterns is None:
+                self._pair_patterns = {
+                    events: frozenset(node.patterns)
+                    for events, node in graph.levels.get(2, {}).items()
+                }
+            pair_patterns = self._pair_patterns
+        ordered_candidates = sorted(candidates)
+        context = LevelContext(
+            level=level,
+            config=config,
+            min_count=min_count,
+            level1=_restrict_level1(graph, ordered_candidates),
+            parents=dict(graph.levels.get(level - 1, {})),
+            pair_patterns=pair_patterns,
+        )
+        return self._run_level(
+            graph, stats, backend, context, ordered_candidates, level_start
+        )
 
     # ------------------------------------------------------------------ shared helpers
-    def _finalise_node(
+    def _run_level(
         self,
         graph: HierarchicalPatternGraph,
-        node: CombinationNode,
         stats: MiningStatistics,
-        min_count: int,
-        level: int,
+        backend: ExecutionBackend,
+        context: LevelContext,
+        candidates: list[Candidate],
+        level_start: float,
     ) -> bool:
-        """Keep only frequent, confident patterns; attach the node when non-empty."""
-        config = self.config
-        keep: set[TemporalPattern] = set()
-        for pattern, entry in node.patterns.items():
-            support = entry.support
-            if support < min_count:
-                continue
-            max_event_support = max(
-                graph.event_support(event) for event in pattern.events
-            )
-            if max_event_support == 0:
-                continue
-            if support / max_event_support < config.min_confidence:
-                continue
-            keep.add(pattern)
-        node.prune_patterns(keep)
-        if node.has_patterns():
-            graph.add_combination_node(node)
-            stats.bump(stats.patterns_found, level, len(node.patterns))
-            return True
-        return False
+        """Delegate one level's candidates to the backend and merge the outcome.
 
-    @property
-    def graph_building_(self) -> HierarchicalPatternGraph:
-        """The graph currently being constructed (internal helper)."""
-        if self.graph_ is not None:
-            return self.graph_
-        raise MiningError("graph accessed before mining started")
+        ``level_seconds`` is assembled as *evaluation time + coordinator
+        overhead*: the backend reports the evaluation wall-clock (for parallel
+        backends: the slowest shard, per
+        :meth:`MiningStatistics.merge_shard`), and the time this process spent
+        generating candidates, building the context and attaching the
+        resulting nodes is added on top.  Summing per-shard times instead
+        would overstate the level cost by up to the worker count.
+        """
+        backend_start = time.perf_counter()
+        outcome = backend.run(context, candidates)
+        backend_elapsed = time.perf_counter() - backend_start
+
+        for node in outcome.nodes:
+            graph.add_combination_node(node)
+        stats.absorb_counters(outcome.stats)
+        evaluation_seconds = outcome.stats.level_seconds.get(context.level, 0.0)
+        overhead = max(
+            0.0, (time.perf_counter() - level_start) - backend_elapsed
+        )
+        stats.level_seconds[context.level] = evaluation_seconds + overhead
+        return bool(outcome.nodes)
 
     def _build_result(
         self,
         graph: HierarchicalPatternGraph,
         stats: MiningStatistics,
         runtime: float,
+        backend: ExecutionBackend,
     ) -> MiningResult:
         """Collect every stored pattern into a :class:`MiningResult`."""
         mined = []
@@ -480,4 +347,5 @@ class HTPGM:
             statistics=stats,
             runtime_seconds=runtime,
             algorithm="E-HTPGM",
+            engine=backend.name,
         )

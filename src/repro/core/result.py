@@ -64,6 +64,9 @@ class MiningResult:
     statistics: MiningStatistics = field(default_factory=MiningStatistics)
     runtime_seconds: float = 0.0
     algorithm: str = "E-HTPGM"
+    #: Name of the execution backend that evaluated the candidates
+    #: (``"serial"`` or ``"process"``; see :mod:`repro.core.engine`).
+    engine: str = "serial"
     #: Series kept after MI pruning (A-HTPGM only; ``None`` for the exact miner).
     correlated_series: list[str] | None = None
 

@@ -12,6 +12,17 @@ from dataclasses import dataclass, field
 
 __all__ = ["MiningStatistics"]
 
+#: Per-level work counters that merge by element-wise addition.
+_COUNTER_FIELDS = (
+    "candidates_generated",
+    "pruned_support",
+    "pruned_confidence",
+    "pruned_transitivity_events",
+    "pruned_relation_checks",
+    "relation_checks",
+    "patterns_found",
+)
+
 
 @dataclass
 class MiningStatistics:
@@ -44,6 +55,34 @@ class MiningStatistics:
     def bump(self, counter: dict[int, int], level: int, amount: int = 1) -> None:
         """Increment a per-level counter."""
         counter[level] = counter.get(level, 0) + amount
+
+    # ------------------------------------------------------------------ merging
+    def absorb_counters(self, other: "MiningStatistics") -> None:
+        """Add another run's per-level work counters into this one.
+
+        Only the per-level counter dicts are combined; the scalar database
+        facts (``n_sequences`` etc.) and ``level_seconds`` are owned by the
+        run-level statistics object and must be maintained by the caller.
+        """
+        for name in _COUNTER_FIELDS:
+            mine = getattr(self, name)
+            for level, amount in getattr(other, name).items():
+                mine[level] = mine.get(level, 0) + amount
+
+    def merge_shard(self, other: "MiningStatistics") -> None:
+        """Merge the statistics of one parallel shard into this aggregate.
+
+        Work counters add — every shard did its counted work — but
+        ``level_seconds`` merges as the element-wise **max**: shards run
+        concurrently, so the level's wall-clock is the slowest shard, not the
+        sum of all shards.  (The miner then adds its own candidate-generation
+        and merge overhead on top; see ``HTPGM``.)
+        """
+        self.absorb_counters(other)
+        for level, seconds in other.level_seconds.items():
+            self.level_seconds[level] = max(
+                self.level_seconds.get(level, 0.0), seconds
+            )
 
     # ------------------------------------------------------------------ summaries
     @property

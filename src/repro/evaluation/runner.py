@@ -112,6 +112,27 @@ class ExperimentRunner:
             extra=extra,
         )
 
+    def run_engine_comparison(
+        self,
+        config: MiningConfig,
+        n_workers: int | None = None,
+        engines: Iterable[str] = ("serial", "process"),
+    ) -> dict[str, RunRecord]:
+        """Run E-HTPGM once per execution engine under identical thresholds.
+
+        The records are keyed by engine name; pattern-set parity across
+        engines is an invariant (tested elsewhere), so the interesting part of
+        the comparison is the runtime column.  ``n_workers`` only affects the
+        ``"process"`` engine.
+        """
+        records = {}
+        for engine in engines:
+            engine_config = config.with_engine(engine, n_workers)
+            record = self.run("E-HTPGM", engine_config)
+            record.method = f"E-HTPGM[{engine}]"
+            records[engine] = record
+        return records
+
     def run_pruning_ablation(
         self, config: MiningConfig, modes: Iterable[PruningMode] | None = None
     ) -> dict[str, RunRecord]:

@@ -37,7 +37,10 @@ class FTPMfTS:
     split_config:
         Window length and overlap used to build ``DSEQ`` from ``DSYB``.
     mining_config:
-        Thresholds and pruning switches of the miner.
+        Thresholds, pruning switches and engine selection of the miner
+        (``MiningConfig(engine="process", n_workers=4)`` shards candidate
+        evaluation across worker processes; the mined pattern set is
+        identical under every engine).
     approximate:
         When True run A-HTPGM; otherwise E-HTPGM.
     mi_threshold, graph_density:
@@ -103,18 +106,27 @@ def mine_time_series(
     approximate: bool = False,
     mi_threshold: float | None = None,
     graph_density: float | None = None,
+    engine: str = "serial",
+    n_workers: int | None = None,
     **config_kwargs,
 ) -> MiningResult:
     """One-call convenience wrapper around :class:`FTPMfTS`.
 
-    ``config_kwargs`` are forwarded to :class:`~repro.core.config.MiningConfig`
-    (``epsilon``, ``tmax``, ``max_pattern_size``, ``pruning``, ...).
+    ``engine`` selects the execution backend (``"serial"`` or ``"process"``)
+    and ``n_workers`` the worker count for the process engine; remaining
+    ``config_kwargs`` are forwarded to
+    :class:`~repro.core.config.MiningConfig` (``epsilon``, ``tmax``,
+    ``max_pattern_size``, ``pruning``, ...).
     """
     process = FTPMfTS(
         split_config=SplitConfig(window_length=window_length, overlap=overlap),
         symbolizers=symbolizers,
         mining_config=MiningConfig(
-            min_support=min_support, min_confidence=min_confidence, **config_kwargs
+            min_support=min_support,
+            min_confidence=min_confidence,
+            engine=engine,
+            n_workers=n_workers,
+            **config_kwargs,
         ),
         approximate=approximate,
         mi_threshold=mi_threshold,

@@ -103,3 +103,52 @@ class TestEqualityHash:
     def test_usable_as_dict_key(self):
         mapping = {Bitmap.from_indices(3, [0]): "x"}
         assert mapping[Bitmap.from_indices(3, [0])] == "x"
+
+
+class TestBulkAlgebra:
+    def test_intersect_all_matches_chained_and(self):
+        a = Bitmap.from_indices(8, [0, 1, 2, 5])
+        b = Bitmap.from_indices(8, [1, 2, 5, 7])
+        c = Bitmap.from_indices(8, [2, 5, 6])
+        assert Bitmap.intersect_all([a, b, c]) == (a & b) & c
+        assert list(Bitmap.intersect_all([a, b, c]).indices()) == [2, 5]
+
+    def test_union_all_matches_chained_or(self):
+        a = Bitmap.from_indices(6, [0])
+        b = Bitmap.from_indices(6, [3])
+        c = Bitmap.from_indices(6, [5])
+        assert Bitmap.union_all([a, b, c]) == (a | b) | c
+        assert list(Bitmap.union_all([a, b, c]).indices()) == [0, 3, 5]
+
+    def test_single_operand_is_identity(self):
+        a = Bitmap.from_indices(5, [1, 4])
+        assert Bitmap.intersect_all([a]) == a
+        assert Bitmap.union_all([a]) == a
+
+    def test_accepts_generators(self):
+        maps = [Bitmap.from_indices(4, [i]) for i in range(3)]
+        assert Bitmap.union_all(m for m in maps).count() == 3
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Bitmap.intersect_all([])
+        with pytest.raises(ConfigurationError):
+            Bitmap.union_all(iter(()))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Bitmap.intersect_all([Bitmap(3), Bitmap(4)])
+        with pytest.raises(ConfigurationError):
+            Bitmap.union_all([Bitmap.full(2), Bitmap.full(3)])
+
+    def test_non_bitmap_operand_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Bitmap.intersect_all([7, Bitmap(3)])  # type: ignore[list-item]
+        with pytest.raises(ConfigurationError):
+            Bitmap.union_all([Bitmap(3), 7])  # type: ignore[list-item]
+
+    def test_result_is_independent_copy(self):
+        a = Bitmap.from_indices(4, [0, 1])
+        merged = Bitmap.union_all([a, Bitmap.from_indices(4, [2])])
+        merged.clear(0)
+        assert a.get(0)  # the input bitmap is untouched

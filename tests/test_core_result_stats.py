@@ -123,3 +123,48 @@ class TestMiningStatistics:
         assert payload["n_sequences"] == 7
         assert payload["patterns_found"] == {2: 3}
         assert payload["total_patterns"] == 3
+
+
+class TestStatisticsMerging:
+    def test_absorb_counters_adds_per_level(self):
+        main = MiningStatistics(n_sequences=10)
+        main.bump(main.candidates_generated, 2, 3)
+        shard = MiningStatistics()
+        shard.bump(shard.candidates_generated, 2, 4)
+        shard.bump(shard.patterns_found, 3, 2)
+        main.absorb_counters(shard)
+        assert main.candidates_generated == {2: 7}
+        assert main.patterns_found == {3: 2}
+        # Scalar database facts stay owned by the run-level object.
+        assert main.n_sequences == 10
+
+    def test_absorb_counters_ignores_level_seconds(self):
+        main = MiningStatistics()
+        shard = MiningStatistics()
+        shard.level_seconds[2] = 5.0
+        main.absorb_counters(shard)
+        assert main.level_seconds == {}
+
+    def test_merge_shard_takes_max_of_wall_clock_not_sum(self):
+        """Concurrent shards overlap in time: the level costs its slowest shard.
+
+        Summing the per-worker times would report ~n_workers times the true
+        wall-clock for a perfectly balanced level.
+        """
+        main = MiningStatistics()
+        for seconds in (0.4, 1.5, 0.9):
+            shard = MiningStatistics()
+            shard.level_seconds[2] = seconds
+            shard.bump(shard.relation_checks, 2, 10)
+            main.merge_shard(shard)
+        assert main.level_seconds[2] == pytest.approx(1.5)  # max, not 2.8
+        assert main.relation_checks[2] == 30  # counters still add
+
+    def test_merge_shard_keeps_existing_levels(self):
+        main = MiningStatistics()
+        main.level_seconds[2] = 2.0
+        shard = MiningStatistics()
+        shard.level_seconds[2] = 1.0
+        shard.level_seconds[3] = 0.5
+        main.merge_shard(shard)
+        assert main.level_seconds == {2: 2.0, 3: 0.5}

@@ -1,0 +1,212 @@
+"""Cross-engine parity: every backend must mine the identical pattern set.
+
+The execution layer's contract (see :mod:`repro.core.engine`) is that backends
+are semantically transparent — sharding candidate evaluation across processes
+may change *when* work happens but never *what* is mined.  These tests enforce
+the contract with seeded-random databases swept across every
+:class:`PruningMode` and both ``allow_self_relations`` settings, comparing the
+full mined output (events, relations, support, confidence — in order) and the
+work-counter totals between :class:`SerialBackend` and
+:class:`ProcessPoolBackend`.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    AHTPGM,
+    HTPGM,
+    ConfigurationError,
+    MiningConfig,
+    ProcessPoolBackend,
+    PruningMode,
+    SerialBackend,
+)
+from repro.core.engine import available_workers, backend_from_config
+from repro.timeseries import EventInstance, SequenceDatabase, TemporalSequence
+
+#: Counter dicts that must agree exactly between engines (same work performed).
+_COUNTER_NAMES = (
+    "candidates_generated",
+    "pruned_support",
+    "pruned_confidence",
+    "pruned_transitivity_events",
+    "pruned_relation_checks",
+    "relation_checks",
+    "patterns_found",
+)
+
+
+def random_database(
+    seed: int,
+    n_sequences: int = 10,
+    n_series: int = 4,
+    symbols: tuple[str, ...] = ("On", "Off"),
+    max_instances: int = 9,
+) -> SequenceDatabase:
+    """A reproducible random temporal sequence database."""
+    rng = random.Random(seed)
+    sequences = []
+    for sequence_id in range(n_sequences):
+        instances = []
+        for _ in range(rng.randint(3, max_instances)):
+            start = round(rng.uniform(0.0, 80.0), 1)
+            duration = round(rng.uniform(1.0, 25.0), 1)
+            instances.append(
+                EventInstance(
+                    start=start,
+                    end=start + duration,
+                    series=f"S{rng.randrange(n_series)}",
+                    symbol=rng.choice(symbols),
+                )
+            )
+        sequences.append(TemporalSequence(sequence_id, instances))
+    return SequenceDatabase(sequences)
+
+
+def mined_tuples(result):
+    """The full observable mining output, in result order."""
+    return [
+        (
+            mined.pattern.events,
+            mined.pattern.relations,
+            mined.support,
+            mined.confidence,
+        )
+        for mined in result
+    ]
+
+
+def assert_parity(serial_result, parallel_result):
+    """Patterns and work counters must match between the two engines."""
+    assert mined_tuples(serial_result) == mined_tuples(parallel_result)
+    serial_stats = serial_result.statistics
+    parallel_stats = parallel_result.statistics
+    for name in _COUNTER_NAMES:
+        assert getattr(serial_stats, name) == getattr(parallel_stats, name), name
+
+
+@pytest.fixture(scope="module")
+def process_backend():
+    """One worker pool shared by the whole module (pool startup is the slow part).
+
+    ``min_candidates_per_worker=1`` forces real sharding even on the small
+    parity databases, so the tests exercise the merge path rather than the
+    small-batch serial fallback.
+    """
+    with ProcessPoolBackend(n_workers=2, min_candidates_per_worker=1) as backend:
+        yield backend
+
+
+class TestRandomDatabaseParity:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_default_config(self, seed, process_backend):
+        database = random_database(seed)
+        config = MiningConfig(min_support=0.3, min_confidence=0.3, min_overlap=1.0)
+        serial = HTPGM(config, backend=SerialBackend()).mine(database)
+        parallel = HTPGM(config, backend=process_backend).mine(database)
+        assert serial.engine == "serial"
+        assert parallel.engine == "process"
+        assert_parity(serial, parallel)
+
+    @pytest.mark.parametrize("pruning", list(PruningMode))
+    @pytest.mark.parametrize("allow_self", [True, False])
+    def test_all_pruning_modes_and_self_relations(
+        self, pruning, allow_self, process_backend
+    ):
+        database = random_database(seed=7, n_sequences=8)
+        config = MiningConfig(
+            min_support=0.25,
+            min_confidence=0.25,
+            min_overlap=1.0,
+            pruning=pruning,
+            allow_self_relations=allow_self,
+        )
+        serial = HTPGM(config, backend=SerialBackend()).mine(database)
+        parallel = HTPGM(config, backend=process_backend).mine(database)
+        assert_parity(serial, parallel)
+
+    def test_tmax_and_max_pattern_size(self, process_backend):
+        database = random_database(seed=11, n_sequences=12, max_instances=7)
+        config = MiningConfig(
+            min_support=0.25,
+            min_confidence=0.25,
+            min_overlap=1.0,
+            tmax=60.0,
+            max_pattern_size=3,
+        )
+        serial = HTPGM(config, backend=SerialBackend()).mine(database)
+        parallel = HTPGM(config, backend=process_backend).mine(database)
+        assert_parity(serial, parallel)
+
+
+class TestPaperExampleParity:
+    def test_paper_database(self, paper_sequence_db, default_config, process_backend):
+        serial = HTPGM(default_config, backend=SerialBackend()).mine(paper_sequence_db)
+        parallel = HTPGM(default_config, backend=process_backend).mine(paper_sequence_db)
+        assert_parity(serial, parallel)
+
+
+class TestApproximateMinerParity:
+    def test_ahtpgm_runs_on_process_engine(self, small_energy, fast_config):
+        """A-HTPGM's correlation filters run in the coordinator, so any engine works."""
+        _, symbolic_db, sequence_db = small_energy
+        serial = AHTPGM(fast_config, graph_density=0.6).mine(sequence_db, symbolic_db)
+        parallel = AHTPGM(
+            fast_config.with_engine("process", 2), graph_density=0.6
+        ).mine(sequence_db, symbolic_db)
+        assert parallel.algorithm == "A-HTPGM"
+        assert parallel.engine == "process"
+        assert serial.correlated_series == parallel.correlated_series
+        assert_parity(serial, parallel)
+
+
+class TestBackendBehaviour:
+    def test_backend_reuse_across_mines(self, process_backend):
+        """An injected backend survives multiple mining runs unchanged."""
+        config = MiningConfig(min_support=0.3, min_confidence=0.3, min_overlap=1.0)
+        for seed in (21, 22):
+            database = random_database(seed)
+            serial = HTPGM(config).mine(database)
+            parallel = HTPGM(config, backend=process_backend).mine(database)
+            assert_parity(serial, parallel)
+
+    def test_config_engine_resolution(self):
+        assert isinstance(backend_from_config(MiningConfig()), SerialBackend)
+        process = backend_from_config(MiningConfig(engine="process", n_workers=3))
+        assert isinstance(process, ProcessPoolBackend)
+        assert process.n_workers == 3
+        default_workers = backend_from_config(MiningConfig(engine="process"))
+        assert default_workers.n_workers == available_workers()
+
+    def test_config_rejects_bad_engine_settings(self):
+        with pytest.raises(ConfigurationError):
+            MiningConfig(engine="gpu")
+        with pytest.raises(ConfigurationError):
+            MiningConfig(engine="process", n_workers=0)
+        with pytest.raises(ConfigurationError):
+            ProcessPoolBackend(n_workers=-1)
+
+    def test_small_batch_falls_back_inline(self):
+        """Below the sharding threshold no pool is spun up, but results match."""
+        database = random_database(seed=5, n_sequences=6, n_series=2)
+        config = MiningConfig(min_support=0.3, min_confidence=0.3, min_overlap=1.0)
+        backend = ProcessPoolBackend(n_workers=2, min_candidates_per_worker=10_000)
+        try:
+            parallel = HTPGM(config, backend=backend).mine(database)
+            assert backend._executor is None  # fallback never created workers
+        finally:
+            backend.close()
+        serial = HTPGM(config).mine(database)
+        assert_parity(serial, parallel)
+
+    def test_with_engine_round_trip(self):
+        config = MiningConfig().with_engine("process", 4)
+        assert config.engine == "process"
+        assert config.n_workers == 4
+        back = config.with_engine("serial")
+        assert back.engine == "serial"
+        assert back.n_workers is None
