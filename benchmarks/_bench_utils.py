@@ -11,7 +11,22 @@ records every table alongside the pytest-benchmark timing report.
 
 from __future__ import annotations
 
-__all__ = ["emit", "collected_tables"]
+import time
+
+__all__ = ["best_of", "emit", "collected_tables"]
+
+
+def best_of(n_rounds, run):
+    """Best-of-n wall-clock of ``run()``: absorbs warm-up and GC noise.
+
+    Returns ``(seconds, result)`` with the result of the last round.
+    """
+    timings = []
+    for _ in range(n_rounds):
+        start = time.perf_counter()
+        result = run()
+        timings.append(time.perf_counter() - start)
+    return min(timings), result
 
 #: Tables emitted during the session, in emission order.
 _TABLES: list[str] = []

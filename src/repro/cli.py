@@ -83,7 +83,10 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument(
         "--parallel",
         action="store_true",
-        help="shard candidate evaluation across worker processes (same pattern set)",
+        help=(
+            "shard candidate evaluation (and A-HTPGM's NMI phase) across "
+            "worker processes (same pattern set)"
+        ),
     )
     mine.add_argument(
         "--workers",
@@ -149,6 +152,14 @@ def _symbolizer_from_args(args: argparse.Namespace):
 def _cmd_mine(args: argparse.Namespace) -> int:
     if args.workers is not None and not args.parallel:
         print("error: --workers requires --parallel", file=sys.stderr)
+        return 2
+    if not args.approximate and (
+        args.mi_threshold is not None or args.density is not None
+    ):
+        print(
+            "error: --mi-threshold/--density require --approximate",
+            file=sys.stderr,
+        )
         return 2
     series_set = read_time_series_csv(args.input)
     if args.approximate and args.mi_threshold is None and args.density is None:

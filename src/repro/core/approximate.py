@@ -14,6 +14,14 @@ Theorem 1 guarantees that frequent event pairs from correlated series have
 confidence at least ``LB`` (Eq. 11), which is why dropping uncorrelated series
 loses only patterns that are unlikely to be interesting; Table IX and Fig. 8 of
 the paper (and the corresponding benchmarks here) quantify that loss.
+
+Both phases run on the execution backend selected by
+:attr:`MiningConfig.engine`: one backend is resolved per :meth:`AHTPGM.mine`
+call, shards the pairwise-NMI computation of step 1 across its workers
+(:func:`~repro.core.correlation.pairwise_nmi` with a backend), is then handed
+to the exact miner for candidate evaluation, and is closed when mining ends.
+The correlation phase's wall-clock is recorded in
+:attr:`MiningStatistics.correlation_seconds`.
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ from .correlation import (
     mi_threshold_for_density,
     pairwise_nmi,
 )
+from .engine import ExecutionBackend, backend_from_config
 from .event_pruning import EventCorrelationIndex, build_event_correlation_index
 from .events import EventKey
 from .htpgm import HTPGM
@@ -99,42 +108,57 @@ class AHTPGM:
         NMI computation needs the latter.
         """
         started = time.perf_counter()
-        graph = self._build_graph(symbolic_db)
-        self.correlation_graph_ = graph
+        backend = backend_from_config(self.config)
+        try:
+            correlation_started = time.perf_counter()
+            graph = self._build_graph(symbolic_db, backend)
+            self.correlation_graph_ = graph
 
-        event_index = None
-        if self.event_mi_threshold is not None:
-            event_index = build_event_correlation_index(
-                database, self.event_mi_threshold
+            event_index = None
+            if self.event_mi_threshold is not None:
+                event_index = build_event_correlation_index(
+                    database, self.event_mi_threshold
+                )
+            self.event_index_ = event_index
+            correlation_seconds = time.perf_counter() - correlation_started
+
+            correlated = set(graph.correlated_series())
+
+            def event_filter(event: EventKey) -> bool:
+                return event[0] in correlated
+
+            def pair_filter(event_a: EventKey, event_b: EventKey) -> bool:
+                if not graph.has_edge(event_a[0], event_b[0]):
+                    return False
+                if event_index is not None:
+                    return event_index.are_correlated(event_a, event_b)
+                return True
+
+            # The backend is shared with the exact miner: the worker pool
+            # that sharded the NMI pairs also shards candidate evaluation.
+            miner = HTPGM(
+                config=self.config,
+                event_filter=event_filter,
+                pair_filter=pair_filter,
+                backend=backend,
             )
-        self.event_index_ = event_index
-
-        correlated = set(graph.correlated_series())
-
-        def event_filter(event: EventKey) -> bool:
-            return event[0] in correlated
-
-        def pair_filter(event_a: EventKey, event_b: EventKey) -> bool:
-            if not graph.has_edge(event_a[0], event_b[0]):
-                return False
-            if event_index is not None:
-                return event_index.are_correlated(event_a, event_b)
-            return True
-
-        miner = HTPGM(
-            config=self.config, event_filter=event_filter, pair_filter=pair_filter
-        )
-        self.miner_ = miner
-        result = miner.mine(database)
+            self.miner_ = miner
+            result = miner.mine(database)
+        finally:
+            backend.close()
         result.algorithm = "A-HTPGM"
         result.correlated_series = sorted(correlated)
+        result.statistics.correlation_seconds = correlation_seconds
         result.runtime_seconds = time.perf_counter() - started
         return result
 
     # ------------------------------------------------------------------ internals
-    def _build_graph(self, symbolic_db: SymbolicDatabase) -> CorrelationGraph:
-        """Compute pairwise NMI once and build ``GC`` for the resolved ``µ``."""
-        nmi_values = pairwise_nmi(symbolic_db)
+    def _build_graph(
+        self, symbolic_db: SymbolicDatabase, backend: ExecutionBackend | None = None
+    ) -> CorrelationGraph:
+        """Compute pairwise NMI once (sharded over ``backend``'s workers when
+        given) and build ``GC`` for the resolved ``µ``."""
+        nmi_values = pairwise_nmi(symbolic_db, backend=backend)
         if self.mi_threshold is not None:
             threshold = self.mi_threshold
         else:

@@ -10,15 +10,27 @@ density* (Def. 5.6): the fraction of edges of the complete graph that should
 survive.  :func:`mi_threshold_for_density` picks the largest ``µ`` that keeps
 (at least) the requested fraction of edges, matching the paper's
 "µ corresponding to X% of the edges" experimental setup.
+
+The pairwise NMI computation — quadratic in the number of series and the
+dominant pre-mining cost of A-HTPGM — accepts an optional
+:class:`~repro.core.engine.ExecutionBackend`: the series pairs are then
+sharded across the backend's worker processes via
+:meth:`~repro.core.engine.ExecutionBackend.map_shards`, each shard computing
+its pair NMIs independently.  Every pair is computed by exactly one worker
+with the same arithmetic as the serial loop, so the values are bit-identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..exceptions import ConfigurationError, DataError
 from ..timeseries.symbolic import SymbolicDatabase
-from .mutual_information import normalized_mutual_information
+from .mutual_information import normalized_mutual_information, sharded_pair_map
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
+    from .engine import ExecutionBackend
 
 __all__ = [
     "CorrelationGraph",
@@ -28,32 +40,83 @@ __all__ = [
 ]
 
 
-def pairwise_nmi(symbolic_db: SymbolicDatabase) -> dict[frozenset[str], float]:
+def _nmi_shard(
+    symbolic_db: SymbolicDatabase, pairs: list[tuple[str, str]]
+) -> dict[frozenset[str], float]:
+    """Worker body of the sharded pairwise-NMI computation (pure function)."""
+    values = {}
+    for name_x, name_y in pairs:
+        forward = normalized_mutual_information(symbolic_db, name_x, name_y)
+        backward = normalized_mutual_information(symbolic_db, name_y, name_x)
+        values[frozenset((name_x, name_y))] = min(forward, backward)
+    return values
+
+
+def pairwise_nmi(
+    symbolic_db: SymbolicDatabase, backend: "ExecutionBackend | None" = None
+) -> dict[frozenset[str], float]:
     """Bidirectional NMI per unordered series pair.
 
     The value stored for a pair is ``min(Ĩ(X;Y), Ĩ(Y;X))`` because an edge
     requires the threshold to hold in both directions (Def. 5.5).
+
+    ``backend`` optionally shards the series pairs across an execution
+    backend's workers (see :mod:`repro.core.engine`); ``None`` computes
+    in-process.  The returned values are identical either way.
     """
     symbolic_db.require_aligned()
     names = symbolic_db.names
     if len(names) < 2:
         raise DataError("pairwise NMI needs at least two series")
-    values = {}
-    for i, name_x in enumerate(names):
-        for name_y in names[i + 1 :]:
-            forward = normalized_mutual_information(symbolic_db, name_x, name_y)
-            backward = normalized_mutual_information(symbolic_db, name_y, name_x)
-            values[frozenset((name_x, name_y))] = min(forward, backward)
-    return values
+    pairs = [
+        (name_x, name_y)
+        for i, name_x in enumerate(names)
+        for name_y in names[i + 1 :]
+    ]
+    return sharded_pair_map(_nmi_shard, symbolic_db, pairs, backend)
 
 
 @dataclass
 class CorrelationGraph:
-    """Undirected correlation graph ``GC`` (Def. 5.5)."""
+    """Undirected correlation graph ``GC`` (Def. 5.5).
+
+    An adjacency index is built from the edge set so the neighbourhood
+    queries cost O(degree) after an O(1) staleness check, instead of
+    rebuilding neighbour lists from every edge — ``neighbors``/``degree``
+    used to be O(E) and ``correlated_series`` O(V·E), which dominated
+    A-HTPGM's setup on dense graphs.  ``edges`` stays a public dict: any
+    mutation that changes the edge *count* is picked up automatically (the
+    staleness check compares lengths); the one blind spot is a balanced
+    add+remove performed with no query in between, after which callers must
+    invoke :meth:`refresh_adjacency` explicitly.  The library itself never
+    mutates a graph after :func:`build_correlation_graph`.
+    """
 
     mi_threshold: float
     vertices: list[str]
     edges: dict[frozenset[str], float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.refresh_adjacency()
+
+    def refresh_adjacency(self) -> None:
+        """Rebuild the adjacency index from ``edges``.
+
+        Called automatically at construction and whenever a query notices the
+        edge count changed; call it manually after replacing edges through a
+        balanced add+remove (same count, different pairs).
+        """
+        self._adjacency: dict[str, set[str]] = {}
+        for pair in self.edges:
+            series_a, series_b = sorted(pair)
+            self._adjacency.setdefault(series_a, set()).add(series_b)
+            self._adjacency.setdefault(series_b, set()).add(series_a)
+        self._indexed_n_edges = len(self.edges)
+
+    def _adjacency_index(self) -> dict[str, set[str]]:
+        if self._indexed_n_edges != len(self.edges):
+            self.refresh_adjacency()
+        return self._adjacency
 
     # ------------------------------------------------------------------ queries
     def has_edge(self, series_a: str, series_b: str) -> bool:
@@ -64,20 +127,16 @@ class CorrelationGraph:
 
     def neighbors(self, series: str) -> list[str]:
         """Series connected to ``series``."""
-        result = []
-        for pair in self.edges:
-            if series in pair:
-                (other,) = pair - {series}
-                result.append(other)
-        return sorted(result)
+        return sorted(self._adjacency_index().get(series, ()))
 
     def degree(self, series: str) -> int:
         """Number of incident edges."""
-        return sum(1 for pair in self.edges if series in pair)
+        return len(self._adjacency_index().get(series, ()))
 
     def correlated_series(self) -> list[str]:
         """Vertices with at least one incident edge — the set ``XC`` of Alg. 2."""
-        return [name for name in self.vertices if self.degree(name) > 0]
+        adjacency = self._adjacency_index()
+        return [name for name in self.vertices if adjacency.get(name)]
 
     @property
     def n_edges(self) -> int:

@@ -17,8 +17,35 @@ functions over a picklable :class:`LevelContext`, and puts an
     Shards the candidate list across ``n_workers`` processes
     (:mod:`concurrent.futures`), evaluates each shard with the same pure
     functions, and merges the per-worker :class:`CombinationNode` lists and
-    :class:`MiningStatistics` deterministically (shard order = candidate
+    :class:`MiningStatistics` deterministically (node order = candidate
     order, wall-clock merged as max-of-shards).
+
+Three throughput features live in the process backend:
+
+*Cost-balanced sharding.*  The miner estimates every candidate's evaluation
+cost during candidate generation (level 2: instance-pair counts over shared
+sequences; level k: parent occurrence counts × new-event instance counts) and
+passes the estimates to :meth:`ProcessPoolBackend.run`.  Candidates are then
+assigned to shards by greedy LPT (longest processing time first, ties broken
+by candidate index), each shard is re-sorted into ascending candidate order,
+and the merge applies the inverse permutation — so the merged node order, and
+therefore the mined pattern set and the golden fixtures, is byte-identical to
+a serial run while skewed levels no longer wait on one overloaded shard.
+Without cost estimates (or with ``cost_balanced=False``) the backend falls
+back to contiguous equal-count shards.
+
+*Summary-only final-level payloads.*  When the coordinator knows a level is
+the last one (``LevelContext.final_level``, set by the miner when
+``max_pattern_size`` is reached), workers strip the occurrence lists of the
+surviving patterns down to per-sequence occurrence *counts* before pickling
+the result back (:meth:`~repro.core.hpg.PatternEntry.summarise`).  Occurrence
+lists of a final level are never extended again, so only the pickle traffic
+shrinks — supports, confidences and the mined pattern set are untouched.
+
+*Generic sharded map.*  :meth:`ExecutionBackend.map_shards` runs any pure
+``func(payload, items)`` over item shards with the same worker transports;
+A-HTPGM's pairwise-NMI phase (the dominant pre-mining cost) uses it to shard
+series pairs across the same worker pool that later mines the patterns.
 
 Every backend mines the *identical* pattern set; the parity tests in
 ``tests/test_engine_parity.py`` and the golden fixtures in ``tests/golden/``
@@ -29,14 +56,15 @@ enforce that invariant.  Backends are selected through
 
 from __future__ import annotations
 
+import heapq
 import multiprocessing
 import os
 import time
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from itertools import combinations
-from typing import Protocol, runtime_checkable
+from typing import Any, Protocol, TypeVar, runtime_checkable
 
 from ..exceptions import ConfigurationError
 from ..timeseries.sequences import EventInstance
@@ -63,6 +91,9 @@ __all__ = [
 #: One unit of level work: the event pair (level 2, generation order, possibly
 #: a self-pair) or the canonical sorted event combination (level k >= 3).
 Candidate = tuple[EventKey, ...]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
 
 
 def available_workers() -> int:
@@ -91,6 +122,12 @@ class LevelContext:
       by the transitivity checks of Lemmas 4–7 (empty when transitivity
       pruning is off or at level 2).  Shipping only the pattern *identities*
       instead of the full pair nodes keeps the per-worker payload light.
+
+    ``final_level`` marks a level whose nodes will never be extended again
+    (the miner sets it when ``max_pattern_size`` is reached).  Parallel
+    workers then return pattern + support/occurrence-count summaries instead
+    of full occurrence lists, cutting the pickled return payload; the serial
+    backend ignores the flag, so a serial graph keeps full occurrences.
     """
 
     level: int
@@ -101,6 +138,7 @@ class LevelContext:
     pair_patterns: dict[tuple[EventKey, EventKey], frozenset[TemporalPattern]] = field(
         default_factory=dict
     )
+    final_level: bool = False
 
     def event_support(self, event: EventKey) -> int:
         """Support of a frequent event (0 when absent, mirroring the graph)."""
@@ -123,6 +161,30 @@ class LevelOutcome:
 
 
 # --------------------------------------------------------------------------- evaluation
+def apriori_pair_prune(
+    joint_support: int,
+    support_a: int,
+    support_b: int,
+    min_count: int,
+    config: MiningConfig,
+) -> str | None:
+    """Which Apriori check discards an event pair: ``"support"`` (Lemma 2),
+    ``"confidence"`` (Lemma 3) or ``None`` when the pair survives.
+
+    Shared by pair evaluation and the miner's cost estimator so the prune
+    predicate cannot drift between the two — a drift would not change the
+    mined set (costs never do) but would silently skew the cost-balanced
+    shards.
+    """
+    if not config.pruning.uses_apriori:
+        return None
+    if joint_support < min_count:
+        return "support"
+    if joint_support / max(support_a, support_b) < config.min_confidence:
+        return "confidence"
+    return None
+
+
 def evaluate_candidates(
     context: LevelContext, candidates: Sequence[Candidate]
 ) -> LevelOutcome:
@@ -156,14 +218,15 @@ def _evaluate_pair(
     node_b = context.level1[event_b]
     joint = node_a.bitmap & node_b.bitmap
     joint_support = joint.count()
-    if config.pruning.uses_apriori:
-        if joint_support < context.min_count:
-            stats.bump(stats.pruned_support, 2)
-            return None
-        pair_confidence = joint_support / max(node_a.support, node_b.support)
-        if pair_confidence < config.min_confidence:
-            stats.bump(stats.pruned_confidence, 2)
-            return None
+    prune = apriori_pair_prune(
+        joint_support, node_a.support, node_b.support, context.min_count, config
+    )
+    if prune == "support":
+        stats.bump(stats.pruned_support, 2)
+        return None
+    if prune == "confidence":
+        stats.bump(stats.pruned_confidence, 2)
+        return None
     if joint_support == 0:
         return None
 
@@ -385,12 +448,45 @@ class ExecutionBackend(Protocol):
     :func:`evaluate_candidates` run serially.  ``level_seconds`` is the one
     allowed difference — parallel backends report the max over shards, which
     the miner then combines with its own merge overhead.
+
+    Backends that balance shards by candidate cost expose ``wants_costs =
+    True``; the miner checks it via ``getattr(backend, "wants_costs",
+    False)`` and skips cost estimation entirely for backends that would
+    discard the estimates (the serial backend, or a process backend with
+    ``cost_balanced=False``).
     """
 
     name: str
 
-    def run(self, context: LevelContext, candidates: Sequence[Candidate]) -> LevelOutcome:
-        """Evaluate all candidates and return the merged outcome."""
+    def run(
+        self,
+        context: LevelContext,
+        candidates: Sequence[Candidate],
+        costs: Sequence[float] | None = None,
+    ) -> LevelOutcome:
+        """Evaluate all candidates and return the merged outcome.
+
+        ``costs`` are optional per-candidate cost estimates (aligned with
+        ``candidates``) that parallel backends may use to balance their
+        shards; they must never change the outcome.
+        """
+        ...
+
+    def map_shards(
+        self,
+        func: Callable[[Any, list[_T]], _R],
+        payload: Any,
+        items: Sequence[_T],
+        costs: Sequence[float] | None = None,
+    ) -> list[_R]:
+        """Run a pure ``func(payload, shard_items)`` over shards of ``items``.
+
+        Returns one result per shard, in deterministic shard order.  Used by
+        work that is embarrassingly parallel but not candidate evaluation —
+        e.g. A-HTPGM's pairwise NMI over series pairs.  ``func`` must be a
+        module-level function (picklable by reference) and must not mutate
+        ``payload``.
+        """
         ...
 
     def close(self) -> None:
@@ -402,9 +498,25 @@ class SerialBackend:
     """In-process, in-order evaluation — the original single-threaded miner."""
 
     name = "serial"
+    #: Serial evaluation never shards, so cost estimates would be wasted work.
+    wants_costs = False
 
-    def run(self, context: LevelContext, candidates: Sequence[Candidate]) -> LevelOutcome:
+    def run(
+        self,
+        context: LevelContext,
+        candidates: Sequence[Candidate],
+        costs: Sequence[float] | None = None,
+    ) -> LevelOutcome:
         return evaluate_candidates(context, candidates)
+
+    def map_shards(
+        self,
+        func: Callable[[Any, list[_T]], _R],
+        payload: Any,
+        items: Sequence[_T],
+        costs: Sequence[float] | None = None,
+    ) -> list[_R]:
+        return [func(payload, list(items))]
 
     def close(self) -> None:  # nothing to release
         pass
@@ -419,21 +531,36 @@ class SerialBackend:
         return "SerialBackend()"
 
 
-def _evaluate_shard(context: LevelContext, candidates: list[Candidate]) -> LevelOutcome:
-    """Worker entry point when the context travels by pickle (spawn platforms)."""
-    return evaluate_candidates(context, candidates)
+def _summarise_final_level(outcome: LevelOutcome) -> LevelOutcome:
+    """Strip occurrence lists down to counts before the outcome is pickled."""
+    for node in outcome.nodes:
+        for entry in node.patterns.values():
+            entry.summarise()
+    return outcome
 
 
-#: Level context inherited by forked workers through copy-on-write memory.
-#: Set by :meth:`ProcessPoolBackend.run` immediately before the per-level pool
-#: forks, so the (potentially large) context never crosses a pipe.
-_FORK_CONTEXT: LevelContext | None = None
+def _evaluate_level_shard(
+    context: LevelContext, candidates: list[Candidate]
+) -> LevelOutcome:
+    """Worker body of the process backend: evaluate, then slim final levels."""
+    outcome = evaluate_candidates(context, candidates)
+    if context.final_level:
+        _summarise_final_level(outcome)
+    return outcome
 
 
-def _evaluate_shard_forked(candidates: list[Candidate]) -> LevelOutcome:
-    """Worker entry point when the context was inherited at fork time."""
-    assert _FORK_CONTEXT is not None, "fork worker started without a level context"
-    return evaluate_candidates(_FORK_CONTEXT, candidates)
+#: ``(func, payload)`` inherited by forked workers through copy-on-write
+#: memory.  Set by :meth:`ProcessPoolBackend._run_shards` immediately before
+#: the per-batch pool forks, so the (potentially large) payload — the level
+#: context or the symbolic database — never crosses a pipe.
+_FORK_PAYLOAD: tuple[Callable[[Any, list], Any], Any] | None = None
+
+
+def _call_forked(items: list) -> Any:
+    """Worker entry point when func and payload were inherited at fork time."""
+    assert _FORK_PAYLOAD is not None, "fork worker started without a payload"
+    func, payload = _FORK_PAYLOAD
+    return func(payload, items)
 
 
 def _fork_available() -> bool:
@@ -444,20 +571,25 @@ def _fork_available() -> bool:
 class ProcessPoolBackend:
     """Shards candidate evaluation across ``n_workers`` processes.
 
-    Candidates are split into contiguous near-equal shards (one per busy
-    worker) so concatenating the shard results in submission order reproduces
-    the serial candidate order exactly; statistics merge via
+    With per-candidate cost estimates (supplied by the miner) the candidates
+    are partitioned by greedy LPT into near-equal-*cost* shards; without them
+    (or with ``cost_balanced=False``) into contiguous near-equal-*count*
+    shards.  Either way each shard keeps ascending candidate order and the
+    merge restores the global candidate order via the inverse permutation, so
+    the node order is byte-identical to a serial run; statistics merge via
     :meth:`MiningStatistics.merge_shard` (counters add, wall-clock maxes).
 
-    Two transports are used for the level context (event nodes, parent
-    patterns), which is by far the largest payload:
+    Two transports are used for the worker payload (the level context or, for
+    :meth:`map_shards`, an arbitrary picklable object), which is by far the
+    largest transfer:
 
-    * On fork-capable platforms a fresh pool is forked per level and the
-      workers inherit the context through copy-on-write memory — only the
-      candidate shards (tuples of event keys) are pickled in, and only the
-      surviving nodes are pickled out.
+    * On fork-capable platforms a fresh pool is forked per batch and the
+      workers inherit the payload through copy-on-write memory — only the
+      item shards are pickled in, and only the results are pickled out
+      (final-level results additionally slimmed to summaries, see
+      :func:`_evaluate_level_shard`).
     * On spawn-only platforms (Windows) a persistent pool is kept and the
-      context is pickled once per shard.
+      payload is pickled once per shard.
 
     Batches smaller than ``min_candidates_per_worker * 2`` are evaluated
     in-process: for tiny levels the scheduling overhead dwarfs the work being
@@ -470,6 +602,7 @@ class ProcessPoolBackend:
         self,
         n_workers: int | None = None,
         min_candidates_per_worker: int = 4,
+        cost_balanced: bool = True,
     ) -> None:
         if n_workers is not None and n_workers < 1:
             raise ConfigurationError(
@@ -482,6 +615,9 @@ class ProcessPoolBackend:
             )
         self.n_workers = n_workers if n_workers is not None else available_workers()
         self.min_candidates_per_worker = min_candidates_per_worker
+        self.cost_balanced = cost_balanced
+        #: Only a cost-balancing backend can use the miner's estimates.
+        self.wants_costs = cost_balanced
         self._executor: ProcessPoolExecutor | None = None
 
     # ------------------------------------------------------------------ lifecycle
@@ -503,67 +639,162 @@ class ProcessPoolBackend:
         self.close()
 
     # ------------------------------------------------------------------ execution
-    def run(self, context: LevelContext, candidates: Sequence[Candidate]) -> LevelOutcome:
+    def run(
+        self,
+        context: LevelContext,
+        candidates: Sequence[Candidate],
+        costs: Sequence[float] | None = None,
+    ) -> LevelOutcome:
         candidates = list(candidates)
-        n_shards = min(
-            self.n_workers,
-            max(1, len(candidates) // self.min_candidates_per_worker),
-        )
+        if costs is not None and len(costs) != len(candidates):
+            raise ConfigurationError(
+                f"got {len(costs)} cost estimates for {len(candidates)} candidates"
+            )
+        n_shards = self._shard_count(len(candidates))
         if n_shards <= 1:
             return evaluate_candidates(context, candidates)
-        shards = _split_contiguous(candidates, n_shards)
+        shard_indices = self._shard_indices(n_shards, costs, len(candidates))
+        shards = [[candidates[i] for i in indices] for indices in shard_indices]
+        outcomes = self._run_shards(_evaluate_level_shard, context, shards)
+        return _merge_indexed_outcomes(shard_indices, shards, outcomes)
+
+    def map_shards(
+        self,
+        func: Callable[[Any, list[_T]], _R],
+        payload: Any,
+        items: Sequence[_T],
+        costs: Sequence[float] | None = None,
+    ) -> list[_R]:
+        items = list(items)
+        if costs is not None and len(costs) != len(items):
+            raise ConfigurationError(
+                f"got {len(costs)} cost estimates for {len(items)} items"
+            )
+        n_shards = self._shard_count(len(items))
+        if n_shards <= 1:
+            return [func(payload, items)]
+        shard_indices = self._shard_indices(n_shards, costs, len(items))
+        shards = [[items[i] for i in indices] for indices in shard_indices]
+        return self._run_shards(func, payload, shards)
+
+    def _shard_count(self, n_items: int) -> int:
+        return min(self.n_workers, max(1, n_items // self.min_candidates_per_worker))
+
+    def would_shard(self, n_items: int) -> bool:
+        """Whether a batch of ``n_items`` would actually be split across workers.
+
+        The miner consults this (together with ``wants_costs``) before paying
+        for cost estimation: sub-threshold batches are evaluated in-process,
+        where the estimates would be discarded.
+        """
+        return self._shard_count(n_items) > 1
+
+    def _shard_indices(
+        self, n_shards: int, costs: Sequence[float] | None, n_items: int
+    ) -> list[list[int]]:
+        if costs is not None and self.cost_balanced:
+            return _split_cost_balanced(costs, n_shards)
+        return _split_contiguous_indices(n_items, n_shards)
+
+    def _run_shards(
+        self,
+        func: Callable[[Any, list], _R],
+        payload: Any,
+        shards: list[list],
+    ) -> list[_R]:
+        """Execute one shard batch, transporting the payload fork- or pickle-wise."""
         if _fork_available():
-            outcomes = self._run_forked(context, shards)
-        else:  # pragma: no cover - spawn-only platforms
-            executor = self._ensure_executor()
-            futures = [
-                executor.submit(_evaluate_shard, context, shard) for shard in shards
-            ]
-            outcomes = [future.result() for future in futures]
-        return _merge_outcomes(outcomes)
+            return self._run_forked(func, payload, shards)
+        executor = self._ensure_executor()  # pragma: no cover - spawn-only platforms
+        futures = [executor.submit(func, payload, shard) for shard in shards]
+        return [future.result() for future in futures]
 
     def _run_forked(
-        self, context: LevelContext, shards: list[list[Candidate]]
-    ) -> list[LevelOutcome]:
-        """Fork a per-level pool whose workers inherit the context for free."""
-        global _FORK_CONTEXT
-        _FORK_CONTEXT = context
+        self, func: Callable[[Any, list], _R], payload: Any, shards: list[list]
+    ) -> list[_R]:
+        """Fork a per-batch pool whose workers inherit the payload for free."""
+        global _FORK_PAYLOAD
+        _FORK_PAYLOAD = (func, payload)
         try:
             with ProcessPoolExecutor(
                 max_workers=len(shards),
                 mp_context=multiprocessing.get_context("fork"),
             ) as executor:
-                futures = [
-                    executor.submit(_evaluate_shard_forked, shard) for shard in shards
-                ]
+                futures = [executor.submit(_call_forked, shard) for shard in shards]
                 return [future.result() for future in futures]
         finally:
-            _FORK_CONTEXT = None
+            _FORK_PAYLOAD = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return f"ProcessPoolBackend(n_workers={self.n_workers})"
+        return (
+            f"ProcessPoolBackend(n_workers={self.n_workers}, "
+            f"cost_balanced={self.cost_balanced})"
+        )
 
 
-def _merge_outcomes(outcomes: Sequence[LevelOutcome]) -> LevelOutcome:
-    """Concatenate shard nodes in submission order and merge shard statistics."""
-    nodes: list[CombinationNode] = []
+def _merge_indexed_outcomes(
+    shard_indices: Sequence[list[int]],
+    shards: Sequence[list[Candidate]],
+    outcomes: Sequence[LevelOutcome],
+) -> LevelOutcome:
+    """Restore global candidate order across shards (the inverse permutation).
+
+    Each worker returns its surviving nodes in shard-candidate order, and a
+    node's canonical event tuple equals the sorted tuple of the candidate it
+    came from (unique per candidate), so a single forward walk over the shard
+    pairs every node with its original candidate index.  Sorting the indexed
+    nodes then reproduces the serial node order exactly, no matter how the
+    LPT assignment scattered the candidates.
+    """
+    indexed: list[tuple[int, CombinationNode]] = []
     stats = MiningStatistics()
-    for outcome in outcomes:
-        nodes.extend(outcome.nodes)
+    for indices, candidates, outcome in zip(shard_indices, shards, outcomes):
+        nodes = iter(outcome.nodes)
+        node = next(nodes, None)
+        for index, candidate in zip(indices, candidates):
+            if node is not None and node.events == tuple(sorted(candidate)):
+                indexed.append((index, node))
+                node = next(nodes, None)
+        if node is not None:
+            raise RuntimeError(
+                "shard returned a node that matches none of its candidates"
+            )
         stats.merge_shard(outcome.stats)
-    return LevelOutcome(nodes=nodes, stats=stats)
+    indexed.sort(key=lambda pair: pair[0])
+    return LevelOutcome(nodes=[node for _, node in indexed], stats=stats)
 
 
-def _split_contiguous(items: list[Candidate], n_shards: int) -> list[list[Candidate]]:
-    """Split into ``n_shards`` contiguous chunks whose sizes differ by at most 1."""
-    base, extra = divmod(len(items), n_shards)
+def _split_contiguous_indices(n_items: int, n_shards: int) -> list[list[int]]:
+    """Contiguous index chunks whose sizes differ by at most 1."""
+    base, extra = divmod(n_items, n_shards)
     shards = []
     start = 0
     for shard_index in range(n_shards):
         size = base + (1 if shard_index < extra else 0)
-        shards.append(items[start : start + size])
+        shards.append(list(range(start, start + size)))
         start += size
     return shards
+
+
+def _split_cost_balanced(costs: Sequence[float], n_shards: int) -> list[list[int]]:
+    """Greedy LPT assignment of item indices to near-equal-cost shards.
+
+    Items are placed heaviest-first onto the least-loaded shard; every tie
+    (equal costs, equal loads) breaks towards the lower index, so the split is
+    fully deterministic.  Each shard's indices are then sorted ascending
+    ("stable reordering") so workers evaluate in candidate order and
+    :func:`_merge_indexed_outcomes` can undo the permutation.
+    """
+    order = sorted(range(len(costs)), key=lambda index: (-costs[index], index))
+    loads = [(0.0, shard) for shard in range(n_shards)]
+    shards: list[list[int]] = [[] for _ in range(n_shards)]
+    for index in order:
+        load, shard = heapq.heappop(loads)
+        shards[shard].append(index)
+        heapq.heappush(loads, (load + costs[index], shard))
+    for shard in shards:
+        shard.sort()
+    return [shard for shard in shards if shard]
 
 
 def backend_from_config(config: MiningConfig) -> ExecutionBackend:

@@ -31,22 +31,60 @@ class PatternEntry:
     sequence; the set of keys is the support set of the pattern (Def. 3.14).
     The assignments are retained because level ``k+1`` extends them with
     instances of the new event.
+
+    An entry can be *summarised* (:meth:`summarise`): the instance assignments
+    are replaced by per-sequence occurrence counts.  Parallel workers do this
+    at the final mining level — whose occurrences are never extended again —
+    so only pattern identities, supports and counts cross the process
+    boundary.  Support and sequence ids stay available either way.
     """
 
     pattern: TemporalPattern
     occurrences: dict[int, list[Occurrence]] = field(default_factory=dict)
+    #: Per-sequence occurrence counts of a summarised entry (``None`` while
+    #: the full assignments are retained).
+    occurrence_counts: dict[int, int] | None = None
 
     @property
     def support(self) -> int:
         """Number of sequences supporting the pattern."""
+        if self.occurrence_counts is not None:
+            return len(self.occurrence_counts)
         return len(self.occurrences)
+
+    @property
+    def is_summary(self) -> bool:
+        """True when the instance assignments were reduced to counts."""
+        return self.occurrence_counts is not None
+
+    @property
+    def n_occurrences(self) -> int:
+        """Total number of supporting assignments across all sequences."""
+        if self.occurrence_counts is not None:
+            return sum(self.occurrence_counts.values())
+        return sum(len(assignments) for assignments in self.occurrences.values())
 
     def add_occurrence(self, sequence_id: int, occurrence: Occurrence) -> None:
         """Record one supporting assignment observed in ``sequence_id``."""
+        if self.occurrence_counts is not None:
+            raise ValueError(
+                "cannot add occurrences to a summarised PatternEntry"
+            )
         self.occurrences.setdefault(sequence_id, []).append(occurrence)
+
+    def summarise(self) -> None:
+        """Replace the instance assignments with per-sequence counts; idempotent."""
+        if self.occurrence_counts is None:
+            self.occurrence_counts = {
+                sequence_id: len(assignments)
+                for sequence_id, assignments in self.occurrences.items()
+            }
+            self.occurrences = {}
 
     def sequence_ids(self) -> set[int]:
         """Ids of the supporting sequences."""
+        if self.occurrence_counts is not None:
+            return set(self.occurrence_counts)
         return set(self.occurrences)
 
 

@@ -20,10 +20,16 @@ Candidate *generation* (cheap, order-sensitive) happens here; candidate
 :class:`~repro.core.engine.ExecutionBackend`.  The default
 ``SerialBackend`` evaluates in-process exactly like the original
 single-threaded miner; ``ProcessPoolBackend`` shards each level's candidates
-across worker processes.  Select a backend via ``MiningConfig(engine=
-"process", n_workers=4)`` or inject one through the ``backend`` argument;
-every backend produces the identical pattern set (enforced by the parity and
-golden-fixture tests).
+across worker processes.  For backends that ask for it (``wants_costs``),
+the miner hands each candidate list a per-candidate *cost estimate* —
+level 2: instance-pair counts over shared sequences; level k: parent
+occurrence counts × new-event instance counts — so a parallel backend can
+build near-equal-cost shards instead of equal-count ones (see
+:func:`_estimate_pair_costs` / :func:`_estimate_combination_costs`; backends
+that would discard the estimates never pay for them).  Select a backend via
+``MiningConfig(engine="process", n_workers=4)`` or inject one through the
+``backend`` argument; every backend produces the identical pattern set
+(enforced by the parity and golden-fixture tests).
 
 Both pruning families can be switched off through
 :class:`~repro.core.config.PruningMode`, which only changes the amount of work,
@@ -46,7 +52,13 @@ from ..exceptions import MiningError
 from ..timeseries.sequences import SequenceDatabase
 from .bitmap import Bitmap
 from .config import MiningConfig
-from .engine import Candidate, ExecutionBackend, LevelContext, backend_from_config
+from .engine import (
+    Candidate,
+    ExecutionBackend,
+    LevelContext,
+    apriori_pair_prune,
+    backend_from_config,
+)
 from .events import EventKey, collect_events
 from .hpg import EventNode, HierarchicalPatternGraph
 from .patterns import PatternMeasures, TemporalPattern
@@ -72,6 +84,114 @@ def _restrict_level1(
     """
     needed = {event for candidate in candidates for event in candidate}
     return {event: graph.level1[event] for event in graph.level1 if event in needed}
+
+
+# --------------------------------------------------------------------------- cost model
+def _backend_uses_costs(backend: ExecutionBackend, n_candidates: int) -> bool:
+    """Whether estimating candidate costs for this level is worth anything.
+
+    Estimates matter only to a cost-balancing backend (``wants_costs``) that
+    will actually shard the batch (``would_shard``); for every other
+    combination — the serial backend, ``cost_balanced=False``, or a level too
+    small to split — the estimates would be discarded, so the miner skips the
+    estimation pass entirely.
+    """
+    if not getattr(backend, "wants_costs", False):
+        return False
+    would_shard = getattr(backend, "would_shard", None)
+    return would_shard is None or would_shard(n_candidates)
+
+
+def _estimate_pair_costs(
+    graph: HierarchicalPatternGraph,
+    candidates: list[Candidate],
+    config: MiningConfig,
+    min_count: int,
+) -> list[float]:
+    """Per-candidate evaluation cost estimates for level 2.
+
+    The dominant cost of a surviving pair is relation classification over the
+    chronologically ordered instance pairs in shared sequences, so the
+    estimate is the product of the two instance counts summed over the shared
+    sequences (the self-pair analogue: instances choose two).  Pairs the
+    Apriori checks of Lemmas 2–3 would discard stop after one bitmap
+    intersection, so they are estimated at unit cost.
+
+    Pairs that Lemma 2 *certainly* prunes — the smaller event support is
+    already below the threshold, an upper bound on the joint support — are
+    recognised without any bitmap work, so on prune-dominated workloads the
+    estimation pre-pass does not replicate the level's intersections
+    serially.  For the remaining pairs the estimator repeats the bitmap AND
+    the worker will perform — one word-wise intersection + popcount,
+    negligible next to the instance-pair classification it predicts;
+    shipping the intersections to the workers instead would grow the very
+    payload the engine tries to keep small.
+    """
+    uses_apriori = config.pruning.uses_apriori
+    costs: list[float] = []
+    for event_a, event_b in candidates:
+        node_a = graph.level1[event_a]
+        node_b = graph.level1[event_b]
+        if uses_apriori and min(node_a.support, node_b.support) < min_count:
+            costs.append(1.0)
+            continue
+        joint = node_a.bitmap & node_b.bitmap
+        joint_support = joint.count()
+        if joint_support == 0 or (
+            apriori_pair_prune(
+                joint_support, node_a.support, node_b.support, min_count, config
+            )
+            is not None
+        ):
+            costs.append(1.0)
+            continue
+        same_event = event_a == event_b
+        pair_count = 0
+        for sequence_id in joint.indices():
+            n_a = len(node_a.instances_by_sequence.get(sequence_id, ()))
+            if same_event:
+                pair_count += n_a * (n_a - 1) // 2
+            else:
+                pair_count += n_a * len(
+                    node_b.instances_by_sequence.get(sequence_id, ())
+                )
+        costs.append(float(max(pair_count, 1)))
+    return costs
+
+
+def _estimate_combination_costs(
+    graph: HierarchicalPatternGraph, candidates: list[Candidate], level: int
+) -> list[float]:
+    """Per-candidate evaluation cost estimates for level ``k >= 3``.
+
+    Evaluating a combination extends every stored occurrence of every parent
+    ``(k-1)``-node with the instances of the remaining event, so the estimate
+    sums, over each (parent, new event) decomposition, the per-sequence
+    product of parent occurrence counts and new-event instance counts.
+    """
+    parents = graph.levels.get(level - 1, {})
+    occurrence_counts: dict[tuple[EventKey, ...], dict[int, int]] = {}
+    for parent_key, parent in parents.items():
+        counts: dict[int, int] = {}
+        for entry in parent.patterns.values():
+            for sequence_id, assignments in entry.occurrences.items():
+                counts[sequence_id] = counts.get(sequence_id, 0) + len(assignments)
+        occurrence_counts[parent_key] = counts
+    costs: list[float] = []
+    for candidate in candidates:
+        cost = 0
+        for new_event in candidate:
+            parent_key = tuple(e for e in candidate if e != new_event)
+            parent_counts = occurrence_counts.get(parent_key)
+            if not parent_counts:
+                continue
+            instances = graph.level1[new_event].instances_by_sequence
+            for sequence_id, n_occurrences in parent_counts.items():
+                n_instances = len(instances.get(sequence_id, ()))
+                if n_instances:
+                    cost += n_occurrences * n_instances
+        costs.append(float(max(cost, 1)))
+    return costs
 
 
 class HTPGM:
@@ -193,8 +313,9 @@ class HTPGM:
         """Alg. 1 lines 5–14: frequent 2-event patterns.
 
         Generates the candidate pairs (applying A-HTPGM's ``pair_filter``
-        here, in the coordinating process), then delegates the per-pair
-        evaluation to the backend.
+        here, in the coordinating process) and estimates each pair's
+        evaluation cost, then delegates the per-pair evaluation to the
+        backend.
         """
         level_start = time.perf_counter()
         config = self.config
@@ -208,13 +329,21 @@ class HTPGM:
                 pair for pair in candidate_pairs if self.pair_filter(*pair)
             ]
 
+        costs = (
+            _estimate_pair_costs(graph, candidate_pairs, config, min_count)
+            if _backend_uses_costs(backend, len(candidate_pairs))
+            else None
+        )
         context = LevelContext(
             level=2,
             config=config,
             min_count=min_count,
             level1=_restrict_level1(graph, candidate_pairs),
+            final_level=config.max_pattern_size == 2,
         )
-        self._run_level(graph, stats, backend, context, candidate_pairs, level_start)
+        self._run_level(
+            graph, stats, backend, context, candidate_pairs, level_start, costs
+        )
 
     # ------------------------------------------------------------------ level k >= 3
     def _mine_level(
@@ -267,6 +396,11 @@ class HTPGM:
                 }
             pair_patterns = self._pair_patterns
         ordered_candidates = sorted(candidates)
+        costs = (
+            _estimate_combination_costs(graph, ordered_candidates, level)
+            if _backend_uses_costs(backend, len(ordered_candidates))
+            else None
+        )
         context = LevelContext(
             level=level,
             config=config,
@@ -274,9 +408,10 @@ class HTPGM:
             level1=_restrict_level1(graph, ordered_candidates),
             parents=dict(graph.levels.get(level - 1, {})),
             pair_patterns=pair_patterns,
+            final_level=config.max_pattern_size == level,
         )
         return self._run_level(
-            graph, stats, backend, context, ordered_candidates, level_start
+            graph, stats, backend, context, ordered_candidates, level_start, costs
         )
 
     # ------------------------------------------------------------------ shared helpers
@@ -288,8 +423,13 @@ class HTPGM:
         context: LevelContext,
         candidates: list[Candidate],
         level_start: float,
+        costs: list[float] | None = None,
     ) -> bool:
         """Delegate one level's candidates to the backend and merge the outcome.
+
+        ``costs`` carries the per-candidate cost estimates computed during
+        generation for cost-balancing backends (``wants_costs``); it is
+        ``None`` for backends that would ignore the estimates.
 
         ``level_seconds`` is assembled as *evaluation time + coordinator
         overhead*: the backend reports the evaluation wall-clock (for parallel
@@ -300,7 +440,7 @@ class HTPGM:
         would overstate the level cost by up to the worker count.
         """
         backend_start = time.perf_counter()
-        outcome = backend.run(context, candidates)
+        outcome = backend.run(context, candidates, costs)
         backend_elapsed = time.perf_counter() - backend_start
 
         for node in outcome.nodes:
@@ -328,6 +468,9 @@ class HTPGM:
             max_event_support = max(
                 graph.event_support(event) for event in entry.pattern.events
             )
+            # Every sequence supporting the pattern contains each of its
+            # events, so support <= max_event_support and the ratio is
+            # already in (0, 1] — no clamp needed.
             confidence = support / max_event_support if max_event_support else 0.0
             mined.append(
                 MinedPattern(
@@ -335,7 +478,7 @@ class HTPGM:
                     measures=PatternMeasures(
                         support=support,
                         relative_support=support / n_sequences,
-                        confidence=min(confidence, 1.0),
+                        confidence=confidence,
                     ),
                 )
             )

@@ -20,9 +20,13 @@ from __future__ import annotations
 
 import math
 from collections.abc import Mapping
+from typing import TYPE_CHECKING
 
 from ..exceptions import ConfigurationError, DataError
 from ..timeseries.symbolic import SymbolicDatabase
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
+    from .engine import ExecutionBackend
 
 __all__ = [
     "entropy",
@@ -111,19 +115,53 @@ def normalized_mutual_information(
     return min(mi / hx, 1.0)
 
 
-def nmi_matrix(symbolic_db: SymbolicDatabase) -> dict[tuple[str, str], float]:
-    """NMI for every ordered pair of distinct series in the database."""
+def sharded_pair_map(shard_fn, symbolic_db, pairs, backend):
+    """Run a pure per-pair-shard function serially or across backend workers.
+
+    The one sharding/merge contract behind every NMI entry point
+    (:func:`nmi_matrix` here, :func:`~repro.core.correlation.pairwise_nmi`):
+    ``backend=None`` evaluates all pairs in-process; otherwise the pairs are
+    sharded via :meth:`~repro.core.engine.ExecutionBackend.map_shards` and
+    the per-shard dicts (disjoint keys — every pair lives in exactly one
+    shard) are merged.
+    """
+    if backend is None:
+        return shard_fn(symbolic_db, pairs)
+    merged: dict = {}
+    for shard_values in backend.map_shards(shard_fn, symbolic_db, pairs):
+        merged.update(shard_values)
+    return merged
+
+
+def _nmi_matrix_shard(
+    symbolic_db: SymbolicDatabase, pairs: list[tuple[str, str]]
+) -> dict[tuple[str, str], float]:
+    """Worker body of the sharded NMI-matrix computation (pure function)."""
+    return {
+        (name_x, name_y): normalized_mutual_information(symbolic_db, name_x, name_y)
+        for name_x, name_y in pairs
+    }
+
+
+def nmi_matrix(
+    symbolic_db: SymbolicDatabase, backend: "ExecutionBackend | None" = None
+) -> dict[tuple[str, str], float]:
+    """NMI for every ordered pair of distinct series in the database.
+
+    ``backend`` optionally shards the ordered pairs across an execution
+    backend's workers (see :mod:`repro.core.engine`); ``None`` computes
+    in-process.  Each pair is computed by exactly one worker with the serial
+    arithmetic, so the matrix is identical either way.
+    """
     symbolic_db.require_aligned()
     names = symbolic_db.names
-    matrix = {}
-    for name_x in names:
-        for name_y in names:
-            if name_x == name_y:
-                continue
-            matrix[(name_x, name_y)] = normalized_mutual_information(
-                symbolic_db, name_x, name_y
-            )
-    return matrix
+    pairs = [
+        (name_x, name_y)
+        for name_x in names
+        for name_y in names
+        if name_x != name_y
+    ]
+    return sharded_pair_map(_nmi_matrix_shard, symbolic_db, pairs, backend)
 
 
 def confidence_lower_bound(

@@ -50,10 +50,21 @@ class MiningStatistics:
     patterns_found: dict[int, int] = field(default_factory=dict)
     #: Wall-clock seconds spent per level.
     level_seconds: dict[int, float] = field(default_factory=dict)
+    #: Wall-clock seconds of A-HTPGM's correlation phase: pairwise NMI,
+    #: correlation-graph construction and — when event-level pruning is
+    #: enabled — the event correlation index.  0.0 for the exact miner.
+    correlation_seconds: float = 0.0
 
     # ------------------------------------------------------------------ increments
     def bump(self, counter: dict[int, int], level: int, amount: int = 1) -> None:
-        """Increment a per-level counter."""
+        """Increment a per-level counter; a zero amount is a no-op.
+
+        Skipping zero amounts keeps the counter dicts (and their
+        :meth:`as_dict` rendering) free of spurious ``{level: 0}`` entries
+        when e.g. transitivity pruning removes nothing at a level.
+        """
+        if amount == 0:
+            return
         counter[level] = counter.get(level, 0) + amount
 
     # ------------------------------------------------------------------ merging
@@ -125,5 +136,6 @@ class MiningStatistics:
             "relation_checks": dict(self.relation_checks),
             "patterns_found": dict(self.patterns_found),
             "level_seconds": dict(self.level_seconds),
+            "correlation_seconds": self.correlation_seconds,
             "total_patterns": self.total_patterns,
         }

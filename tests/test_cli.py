@@ -89,6 +89,34 @@ class TestMineCommand:
         )
         assert code != 0 or "error" in capsys.readouterr().err
 
+    def test_workers_without_parallel_rejected(self, tmp_path, capsys):
+        code = main(
+            ["mine", "--input", str(tmp_path / "data.csv"), "--output",
+             str(tmp_path / "out.json"), "--window", "1440", "--workers", "2"]
+        )
+        assert code == 2
+        assert "--workers requires --parallel" in capsys.readouterr().err
+
+    def test_mi_threshold_without_approximate_rejected(self, tmp_path, capsys):
+        """--mi-threshold used to be silently ignored without --approximate."""
+        code = main(
+            ["mine", "--input", str(tmp_path / "data.csv"), "--output",
+             str(tmp_path / "out.json"), "--window", "1440",
+             "--mi-threshold", "0.5"]
+        )
+        assert code == 2
+        assert "require --approximate" in capsys.readouterr().err
+
+    def test_density_without_approximate_rejected(self, tmp_path, capsys):
+        """--density used to be silently ignored without --approximate."""
+        code = main(
+            ["mine", "--input", str(tmp_path / "data.csv"), "--output",
+             str(tmp_path / "out.json"), "--window", "1440",
+             "--density", "0.5"]
+        )
+        assert code == 2
+        assert "require --approximate" in capsys.readouterr().err
+
 
 class TestEvaluateCommand:
     def test_evaluate_prints_comparison(self, capsys):

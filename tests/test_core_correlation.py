@@ -85,6 +85,83 @@ class TestCorrelationGraph:
         assert graph.n_edges == 3
 
 
+class TestAdjacencyIndex:
+    """The O(degree) adjacency index must behave exactly like edge scans."""
+
+    @pytest.fixture()
+    def dense_graph(self) -> CorrelationGraph:
+        """A dense graph: 20 vertices, every pair except those touching the
+        last two vertices (which stay isolated), plus one missing edge."""
+        vertices = [f"v{index:02d}" for index in range(20)]
+        connected = vertices[:-2]
+        edges = {
+            frozenset((a, b)): 0.9
+            for i, a in enumerate(connected)
+            for b in connected[i + 1 :]
+        }
+        del edges[frozenset(("v03", "v07"))]
+        return CorrelationGraph(mi_threshold=0.5, vertices=vertices, edges=edges)
+
+    def test_neighbors_and_degree_match_naive_edge_scan(self, dense_graph):
+        for vertex in dense_graph.vertices:
+            naive_neighbors = sorted(
+                next(iter(pair - {vertex}))
+                for pair in dense_graph.edges
+                if vertex in pair
+            )
+            assert dense_graph.neighbors(vertex) == naive_neighbors
+            assert dense_graph.degree(vertex) == len(naive_neighbors)
+
+    def test_correlated_series_match_naive_scan_and_vertex_order(self, dense_graph):
+        naive = [
+            vertex
+            for vertex in dense_graph.vertices
+            if any(vertex in pair for pair in dense_graph.edges)
+        ]
+        assert dense_graph.correlated_series() == naive
+        assert dense_graph.correlated_series() == dense_graph.vertices[:-2]
+
+    def test_missing_edge_reflected_everywhere(self, dense_graph):
+        assert not dense_graph.has_edge("v03", "v07")
+        assert "v07" not in dense_graph.neighbors("v03")
+        assert dense_graph.degree("v03") == len(dense_graph.vertices) - 4
+
+    def test_isolated_vertex_queries(self, dense_graph):
+        assert dense_graph.neighbors("v19") == []
+        assert dense_graph.degree("v19") == 0
+
+    def test_unknown_vertex_queries_are_empty(self, dense_graph):
+        assert dense_graph.neighbors("unknown") == []
+        assert dense_graph.degree("unknown") == 0
+
+    def test_index_follows_post_construction_edge_mutation(self, dense_graph):
+        """edges is a public dict; adding/removing edges must be reflected."""
+        assert dense_graph.degree("v19") == 0
+        dense_graph.edges[frozenset(("v18", "v19"))] = 0.95
+        assert dense_graph.neighbors("v19") == ["v18"]
+        assert "v19" in dense_graph.correlated_series()
+        del dense_graph.edges[frozenset(("v18", "v19"))]
+        assert dense_graph.degree("v19") == 0
+        assert "v19" not in dense_graph.correlated_series()
+
+    def test_balanced_add_and_remove_with_refresh(self):
+        """A balanced add+remove (same edge count, no query in between) is the
+        documented blind spot of the O(1) staleness check; refresh_adjacency
+        restores consistency."""
+        graph = CorrelationGraph(
+            mi_threshold=0.5,
+            vertices=["a", "b", "c", "d"],
+            edges={frozenset(("a", "b")): 0.9},
+        )
+        assert graph.neighbors("a") == ["b"]
+        graph.edges[frozenset(("c", "d"))] = 0.8
+        del graph.edges[frozenset(("a", "b"))]
+        graph.refresh_adjacency()
+        assert graph.neighbors("a") == []
+        assert graph.neighbors("c") == ["d"]
+        assert graph.correlated_series() == ["c", "d"]
+
+
 class TestDensityBasedThreshold:
     def test_density_keeps_requested_fraction_of_edges(self, correlated_db):
         mu = mi_threshold_for_density(correlated_db, density=0.5)

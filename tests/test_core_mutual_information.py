@@ -118,6 +118,25 @@ class TestNormalizedMutualInformation:
         # b and c are complements of each other: perfectly informative.
         assert matrix[("b", "c")] == pytest.approx(1.0)
 
+    def test_nmi_matrix_parallel_backend_bit_identical(self):
+        """Sharding the ordered pairs across workers changes nothing."""
+        from repro import ProcessPoolBackend
+
+        rng = np.random.default_rng(3)
+        db = SymbolicDatabase(
+            [
+                make_series(
+                    f"s{index}",
+                    ["On" if v else "Off" for v in rng.integers(0, 2, 32)],
+                )
+                for index in range(6)
+            ]
+        )
+        serial_matrix = nmi_matrix(db)
+        with ProcessPoolBackend(n_workers=2, min_candidates_per_worker=1) as backend:
+            parallel_matrix = nmi_matrix(db, backend=backend)
+        assert serial_matrix == parallel_matrix
+
 
 class TestConfidenceLowerBound:
     def test_bound_is_between_zero_and_one(self):

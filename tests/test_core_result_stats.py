@@ -116,6 +116,25 @@ class TestMiningStatistics:
         assert stats.total_pruned == 1
         assert stats.max_level == 0
 
+    def test_zero_amount_bump_is_a_noop(self):
+        """Regression: zero-amount bumps must not create {level: 0} entries."""
+        stats = MiningStatistics()
+        stats.bump(stats.pruned_transitivity_events, 3, 0)
+        assert stats.pruned_transitivity_events == {}
+        assert stats.as_dict()["pruned_transitivity_events"] == {}
+        # An existing entry is left untouched by a later zero-amount bump.
+        stats.bump(stats.pruned_transitivity_events, 3, 2)
+        stats.bump(stats.pruned_transitivity_events, 3, 0)
+        assert stats.pruned_transitivity_events == {3: 2}
+
+    def test_real_run_counters_carry_no_zero_entries(self, paper_sequence_db):
+        """The transitivity bump in HTPGM._mine_level used to record zeros at
+        every level where Lemma 5 removed nothing."""
+        miner = HTPGM(MiningConfig(min_support=0.5, min_confidence=0.5, min_overlap=1.0))
+        stats = miner.mine(paper_sequence_db).statistics
+        assert 0 not in stats.pruned_transitivity_events.values()
+        assert 0 not in stats.pruned_relation_checks.values()
+
     def test_as_dict_round_trips_counters(self):
         stats = MiningStatistics(n_sequences=7)
         stats.bump(stats.patterns_found, 2, 3)
@@ -123,6 +142,20 @@ class TestMiningStatistics:
         assert payload["n_sequences"] == 7
         assert payload["patterns_found"] == {2: 3}
         assert payload["total_patterns"] == 3
+        assert payload["correlation_seconds"] == 0.0
+
+    def test_correlation_seconds_recorded_by_approximate_miner(self, small_energy):
+        from repro import AHTPGM
+
+        _, symbolic_db, sequence_db = small_energy
+        config = MiningConfig(
+            min_support=0.4, min_confidence=0.4, epsilon=1.0,
+            min_overlap=5.0, tmax=360.0, max_pattern_size=2,
+        )
+        result = AHTPGM(config, graph_density=0.6).mine(sequence_db, symbolic_db)
+        assert result.statistics.correlation_seconds > 0.0
+        exact = HTPGM(config).mine(sequence_db)
+        assert exact.statistics.correlation_seconds == 0.0
 
 
 class TestStatisticsMerging:

@@ -25,7 +25,13 @@ from repro import (
     PruningMode,
     SerialBackend,
 )
-from repro.core.engine import available_workers, backend_from_config
+from repro.core.correlation import pairwise_nmi
+from repro.core.engine import (
+    _split_cost_balanced,
+    _split_contiguous_indices,
+    available_workers,
+    backend_from_config,
+)
 from repro.timeseries import EventInstance, SequenceDatabase, TemporalSequence
 
 #: Counter dicts that must agree exactly between engines (same work performed).
@@ -150,6 +156,141 @@ class TestPaperExampleParity:
         assert_parity(serial, parallel)
 
 
+class TestCostBalancedSharding:
+    """The greedy LPT splitter and its count-balanced fallback."""
+
+    def test_lpt_partition_covers_every_index_once_in_ascending_order(self):
+        costs = [100.0, 1.0, 1.0, 50.0, 1.0, 80.0, 1.0, 1.0, 60.0, 1.0]
+        shards = _split_cost_balanced(costs, 3)
+        flattened = sorted(index for shard in shards for index in shard)
+        assert flattened == list(range(len(costs)))
+        for shard in shards:
+            assert shard == sorted(shard)
+
+    def test_lpt_balances_skewed_costs_better_than_contiguous(self):
+        # Heavy candidates clustered at the front, as level 2 produces when
+        # a high-instance-count event sorts first.
+        costs = [90.0, 80.0, 70.0, 60.0] + [1.0] * 12
+        lpt = _split_cost_balanced(costs, 4)
+        contiguous = _split_contiguous_indices(len(costs), 4)
+        load = lambda shard: sum(costs[i] for i in shard)
+        assert max(map(load, lpt)) < max(map(load, contiguous))
+        # Perfect split here: one heavy candidate per shard.
+        assert max(map(load, lpt)) <= 90.0 + 3 * 1.0
+
+    def test_lpt_partition_is_deterministic(self):
+        costs = [5.0, 5.0, 3.0, 3.0, 3.0, 1.0, 1.0, 1.0]
+        assert _split_cost_balanced(costs, 3) == _split_cost_balanced(costs, 3)
+
+    def test_cost_estimate_length_mismatch_rejected(self, paper_sequence_db):
+        from repro.core.engine import LevelContext
+
+        backend = ProcessPoolBackend(n_workers=2, min_candidates_per_worker=1)
+        context = LevelContext(level=2, config=MiningConfig(), min_count=1, level1={})
+        with pytest.raises(ConfigurationError):
+            backend.run(context, [(("A", "On"), ("B", "On"))], costs=[1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            backend.map_shards(
+                lambda payload, shard: shard, None, list(range(10)), costs=[1.0] * 8
+            )
+
+    def test_count_balanced_fallback_parity(self):
+        """cost_balanced=False (contiguous equal-count shards) mines the same set."""
+        database = random_database(seed=13)
+        config = MiningConfig(min_support=0.3, min_confidence=0.3, min_overlap=1.0)
+        serial = HTPGM(config, backend=SerialBackend()).mine(database)
+        with ProcessPoolBackend(
+            n_workers=2, min_candidates_per_worker=1, cost_balanced=False
+        ) as backend:
+            parallel = HTPGM(config, backend=backend).mine(database)
+        assert_parity(serial, parallel)
+
+    def test_wants_costs_capability_flag(self):
+        assert SerialBackend().wants_costs is False
+        assert ProcessPoolBackend(n_workers=2).wants_costs is True
+        assert ProcessPoolBackend(n_workers=2, cost_balanced=False).wants_costs is False
+
+    def test_miner_skips_estimation_for_backends_that_ignore_costs(self, monkeypatch):
+        """Backends without wants_costs never pay for cost estimation."""
+        import repro.core.htpgm as htpgm_module
+
+        calls = []
+        for name in ("_estimate_pair_costs", "_estimate_combination_costs"):
+            original = getattr(htpgm_module, name)
+            monkeypatch.setattr(
+                htpgm_module,
+                name,
+                lambda *args, _original=original, _name=name: (
+                    calls.append(_name),
+                    _original(*args),
+                )[1],
+            )
+        database = random_database(seed=3)
+        config = MiningConfig(min_support=0.3, min_confidence=0.3, min_overlap=1.0)
+        HTPGM(config, backend=SerialBackend()).mine(database)
+        assert calls == []
+        # A process backend whose batches all fall below the sharding
+        # threshold would discard the estimates too — also skipped.
+        with ProcessPoolBackend(
+            n_workers=2, min_candidates_per_worker=10_000
+        ) as backend:
+            HTPGM(config, backend=backend).mine(database)
+        assert calls == []
+        with ProcessPoolBackend(n_workers=2, min_candidates_per_worker=1) as backend:
+            HTPGM(config, backend=backend).mine(database)
+        assert "_estimate_pair_costs" in calls
+
+
+class TestFinalLevelSummaries:
+    def test_process_workers_return_summaries_at_max_pattern_size(self):
+        """Final-level entries ship as counts, not occurrence lists, yet the
+        mined output (support, confidence, order) matches serial exactly."""
+        database = random_database(seed=0)
+        config = MiningConfig(
+            min_support=0.3, min_confidence=0.3, min_overlap=1.0, max_pattern_size=3
+        )
+        serial_miner = HTPGM(config, backend=SerialBackend())
+        serial = serial_miner.mine(database)
+        with ProcessPoolBackend(n_workers=2, min_candidates_per_worker=1) as backend:
+            parallel_miner = HTPGM(config, backend=backend)
+            parallel = parallel_miner.mine(database)
+        assert_parity(serial, parallel)
+
+        final_entries = [
+            entry
+            for node in parallel_miner.graph_.nodes_at(3)
+            for entry in node.patterns.values()
+        ]
+        assert final_entries, "the seed must reach the final level"
+        assert all(entry.is_summary for entry in final_entries)
+        assert all(entry.occurrences == {} for entry in final_entries)
+        assert all(entry.n_occurrences > 0 for entry in final_entries)
+        # Supports survive summarisation (compared against the serial graph).
+        serial_supports = {
+            (node.events, entry.pattern): entry.support
+            for node in serial_miner.graph_.nodes_at(3)
+            for entry in node.patterns.values()
+        }
+        parallel_supports = {
+            (node.events, entry.pattern): entry.support
+            for node in parallel_miner.graph_.nodes_at(3)
+            for entry in node.patterns.values()
+        }
+        assert serial_supports == parallel_supports
+        # Intermediate levels keep full occurrences — they fed the next level.
+        assert all(
+            not entry.is_summary
+            for node in parallel_miner.graph_.nodes_at(2)
+            for entry in node.patterns.values()
+        )
+        # The serial graph is untouched by the optimisation.
+        assert all(
+            not entry.is_summary
+            for node in serial_miner.graph_.nodes_at(3)
+            for entry in node.patterns.values()
+        )
+
+
 class TestApproximateMinerParity:
     def test_ahtpgm_runs_on_process_engine(self, small_energy, fast_config):
         """A-HTPGM's correlation filters run in the coordinator, so any engine works."""
@@ -162,6 +303,29 @@ class TestApproximateMinerParity:
         assert parallel.engine == "process"
         assert serial.correlated_series == parallel.correlated_series
         assert_parity(serial, parallel)
+
+    @pytest.mark.parametrize("pruning", list(PruningMode))
+    def test_parallel_nmi_parity_across_pruning_modes(
+        self, pruning, small_energy, fast_config
+    ):
+        """The sharded NMI phase + cost-balanced mining leave A-HTPGM unchanged."""
+        _, symbolic_db, sequence_db = small_energy
+        config = fast_config.with_pruning(pruning)
+        serial = AHTPGM(config, graph_density=0.6).mine(sequence_db, symbolic_db)
+        parallel = AHTPGM(
+            config.with_engine("process", 2), graph_density=0.6
+        ).mine(sequence_db, symbolic_db)
+        assert serial.correlated_series == parallel.correlated_series
+        assert_parity(serial, parallel)
+        assert parallel.statistics.correlation_seconds > 0.0
+
+    def test_parallel_nmi_values_bit_identical(self, small_energy):
+        """Sharding series pairs across workers changes nothing about the NMI."""
+        _, symbolic_db, _ = small_energy
+        serial_values = pairwise_nmi(symbolic_db)
+        with ProcessPoolBackend(n_workers=2, min_candidates_per_worker=1) as backend:
+            parallel_values = pairwise_nmi(symbolic_db, backend=backend)
+        assert serial_values == parallel_values
 
 
 class TestBackendBehaviour:

@@ -190,6 +190,23 @@ class TestMiningProperties:
 
     @RELAXED
     @given(small_databases())
+    def test_confidence_is_the_exact_unclamped_ratio(self, database):
+        """Pattern support never exceeds max event support by construction, so
+        confidence = support / max_event_support lies in (0, 1] without any
+        clamp (the dead ``min(confidence, 1.0)`` was removed)."""
+        miner = HTPGM(MINING_CONFIG)
+        result = miner.mine(database)
+        graph = miner.graph_
+        for mined in result.patterns:
+            max_event_support = max(
+                graph.event_support(event) for event in mined.pattern.events
+            )
+            assert 0 < mined.support <= max_event_support
+            assert mined.confidence == mined.support / max_event_support
+            assert 0.0 < mined.confidence <= 1.0
+
+    @RELAXED
+    @given(small_databases())
     def test_pruning_modes_agree(self, database):
         reference = HTPGM(MINING_CONFIG).mine(database).pattern_set()
         for mode in (PruningMode.NONE, PruningMode.APRIORI, PruningMode.TRANSITIVITY):
