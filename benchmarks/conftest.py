@@ -11,11 +11,14 @@ Absolute runtimes will not match the paper (different hardware, Python-level
 baselines); the claims being reproduced are *relative*: which method wins, by
 roughly what factor, and how the curves move with thresholds, data size and the
 MI threshold.  EXPERIMENTS.md records the side-by-side comparison.
+
+Setting ``REPRO_BENCH_SMOKE=1`` quarters the resolved scale and turns the
+timing assertions into skips (see ``_bench_utils``): the CI smoke job uses it
+to run every benchmark file quickly so the benchmark code cannot silently rot.
 """
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 
 import pytest
@@ -25,8 +28,11 @@ from repro.datasets import make_dataset
 from repro.timeseries.sequences import SequenceDatabase
 from repro.timeseries.symbolic import SymbolicDatabase
 
-#: Global scale multiplier applied to all benchmark datasets.
-BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+from _bench_utils import bench_scale
+
+#: Global scale multiplier applied to all benchmark datasets
+#: (``REPRO_BENCH_SCALE``, quartered under ``REPRO_BENCH_SMOKE``).
+BENCH_SCALE = bench_scale()
 
 
 @dataclass

@@ -22,15 +22,19 @@ mining a different answer would be worthless.
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
 from repro.core.engine import available_workers
 from repro.datasets import make_dataset
 from repro.evaluation import ExperimentRunner, format_table
 
-from _bench_utils import best_of, emit
+from _bench_utils import (
+    assert_min_speedup,
+    bench_scale,
+    benchmark_rounds,
+    best_of,
+    emit,
+)
 
 N_WORKERS = 4
 #: Minimum speedup demanded of the process engine (acceptance criterion).
@@ -48,7 +52,7 @@ def speedup_bench(nist_bench):
     miner finishes in ~0.1s and any measured ratio would mostly be scheduling
     noise.
     """
-    scale = 0.12 * float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    scale = 0.12 * bench_scale()
     dataset = make_dataset(
         "nist", scale=min(scale, 1.0), attribute_fraction=0.5, seed=101
     )
@@ -109,27 +113,21 @@ def test_parallel_speedup_largest_scalability_dataset(speedup_bench, energy_conf
             ),
         )
 
-    serial_seconds, serial_record, parallel_seconds, parallel_record = benchmark.pedantic(
-        run, rounds=1, iterations=1
-    )
-    speedup = serial_seconds / parallel_seconds if parallel_seconds else float("inf")
-    emit(table("speedup", serial_seconds, serial_record, parallel_seconds, parallel_record, speedup))
-    assert_parity(serial_record, parallel_record)
+    next_round = benchmark_rounds(benchmark, run)
 
-    # Retry-once guard: a transiently loaded runner can drag one measurement
-    # below the bar; re-measure before concluding anything, then *skip* —
-    # a still-low ratio on shared CI says "noisy neighbours", not "regression".
-    if speedup < MIN_SPEEDUP:
-        serial_seconds, serial_record, parallel_seconds, parallel_record = run()
+    def measure():
+        (serial_seconds, serial_record, parallel_seconds, parallel_record), label = next_round()
         speedup = serial_seconds / parallel_seconds if parallel_seconds else float("inf")
-        emit(table("speedup (retry)", serial_seconds, serial_record, parallel_seconds, parallel_record, speedup))
+        emit(table(label, serial_seconds, serial_record, parallel_seconds, parallel_record, speedup))
+        # Parity is asserted on every measurement, retries included.
         assert_parity(serial_record, parallel_record)
-        if speedup < MIN_SPEEDUP:
-            pytest.skip(
-                f"process engine with {N_WORKERS} workers achieved only "
-                f"{speedup:.2f}x over serial on {cpus} CPUs after a retry "
-                f"(want >= {MIN_SPEEDUP}x); runner appears heavily loaded"
-            )
+        return speedup, None
+
+    assert_min_speedup(
+        measure,
+        MIN_SPEEDUP,
+        f"process engine with {N_WORKERS} workers vs serial on {cpus} CPUs",
+    )
 
 
 def test_engine_comparison_helper(nist_bench, energy_config):

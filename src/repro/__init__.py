@@ -53,6 +53,7 @@ from .core import (
     MinedPattern,
     MiningConfig,
     MiningResult,
+    MiningSession,
     MiningStatistics,
     ProcessPoolBackend,
     PruningMode,
@@ -97,6 +98,7 @@ __all__ = [
     # core
     "HTPGM",
     "AHTPGM",
+    "MiningSession",
     "MiningConfig",
     "PruningMode",
     "MiningResult",

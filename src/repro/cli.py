@@ -8,7 +8,11 @@ Three subcommands cover the typical workflows:
 
 ``repro mine``
     Run the end-to-end FTPMfTS process (E-HTPGM or A-HTPGM) on a wide CSV of
-    time series and write the frequent patterns as JSON or CSV.
+    time series and write the frequent patterns as JSON or CSV.  With
+    ``--session FILE`` the mining state is saved for incremental reuse;
+    ``--append NEW.csv --session FILE`` folds newly arrived series into that
+    state without re-mining from scratch (identical patterns, a fraction of
+    the work).
 
 ``repro evaluate``
     Run a small method comparison (E-HTPGM, A-HTPGM and the baselines) on a
@@ -29,9 +33,11 @@ from .datasets import available_datasets, make_dataset
 from .evaluation import ExperimentRunner, format_table
 from .exceptions import ReproError
 from .io import (
+    read_session,
     read_time_series_csv,
     write_patterns_csv,
     write_patterns_json,
+    write_session,
     write_time_series_csv,
 )
 from .pipeline import FTPMfTS
@@ -60,14 +66,20 @@ def build_parser() -> argparse.ArgumentParser:
     mine = subparsers.add_parser(
         "mine", help="mine frequent temporal patterns from a wide CSV of time series"
     )
-    mine.add_argument("--input", required=True, help="input CSV (timestamp column + one column per series)")
+    mine.add_argument(
+        "--input",
+        help="input CSV (timestamp column + one column per series); required "
+        "unless appending to a session with --append",
+    )
     mine.add_argument("--output", required=True, help="output file (.json or .csv)")
     mine.add_argument("--window", type=float, required=True, help="sequence window length (same unit as timestamps)")
     mine.add_argument("--overlap", type=float, default=0.0, help="overlap t_ov between consecutive windows")
-    mine.add_argument("--support", type=float, default=0.5, help="support threshold sigma (0-1]")
-    mine.add_argument("--confidence", type=float, default=0.5, help="confidence threshold delta (0-1]")
-    mine.add_argument("--epsilon", type=float, default=0.0, help="relation buffer epsilon")
-    mine.add_argument("--min-overlap", type=float, default=1e-9, help="minimal Overlap duration d_o")
+    # Mining parameters default to None so --append can reject explicit use:
+    # an appended session must mine with the thresholds it was created with.
+    mine.add_argument("--support", type=float, default=None, help="support threshold sigma (0-1], default 0.5")
+    mine.add_argument("--confidence", type=float, default=None, help="confidence threshold delta (0-1], default 0.5")
+    mine.add_argument("--epsilon", type=float, default=None, help="relation buffer epsilon, default 0")
+    mine.add_argument("--min-overlap", type=float, default=None, help="minimal Overlap duration d_o, default 1e-9")
     mine.add_argument("--tmax", type=float, default=None, help="maximal pattern duration")
     mine.add_argument("--max-size", type=int, default=None, help="maximal number of events per pattern")
     mine.add_argument(
@@ -93,6 +105,24 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="worker count for --parallel (default: all available CPUs)",
+    )
+    mine.add_argument(
+        "--session",
+        help=(
+            "mining-session state file: with --input, mine and save the "
+            "state here for later appends; with --append, load the state, "
+            "fold the new CSV in incrementally and save it back"
+        ),
+    )
+    mine.add_argument(
+        "--append",
+        metavar="NEW_CSV",
+        help=(
+            "wide CSV of newly arrived time series to fold into an existing "
+            "--session incrementally (mining thresholds come from the "
+            "session; window/symbolizer flags still apply to the new data); "
+            "the result is identical to re-mining everything from scratch"
+        ),
     )
     mine.add_argument("--top", type=int, default=10, help="number of patterns to print")
 
@@ -161,29 +191,95 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    series_set = read_time_series_csv(args.input)
-    if args.approximate and args.mi_threshold is None and args.density is None:
-        # Sensible default matching the paper's recommendation of a dense graph.
-        args.density = 0.6
-    config = MiningConfig(
-        min_support=args.support,
-        min_confidence=args.confidence,
-        epsilon=args.epsilon,
-        min_overlap=args.min_overlap,
-        tmax=args.tmax,
-        max_pattern_size=args.max_size,
-        engine="process" if args.parallel else "serial",
-        n_workers=args.workers,
-    )
-    process = FTPMfTS(
-        split_config=SplitConfig(window_length=args.window, overlap=args.overlap),
-        symbolizers=_symbolizer_from_args(args),
-        mining_config=config,
-        approximate=args.approximate,
-        mi_threshold=args.mi_threshold,
-        graph_density=args.density,
-    )
-    result = process.mine(series_set)
+    if args.approximate and (args.session or args.append):
+        print(
+            "error: --session/--append require the exact miner "
+            "(drop --approximate)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.append and not args.session:
+        print("error: --append requires --session", file=sys.stderr)
+        return 2
+    if args.append and args.input:
+        print(
+            "error: --append and --input are mutually exclusive "
+            "(the session already covers the previously mined data)",
+            file=sys.stderr,
+        )
+        return 2
+    if not args.append and not args.input:
+        print("error: --input is required (or use --append with --session)",
+              file=sys.stderr)
+        return 2
+
+    engine = "process" if args.parallel else "serial"
+    if args.append:
+        overridden = [
+            flag
+            for flag, value in (
+                ("--support", args.support),
+                ("--confidence", args.confidence),
+                ("--epsilon", args.epsilon),
+                ("--min-overlap", args.min_overlap),
+                ("--tmax", args.tmax),
+                ("--max-size", args.max_size),
+            )
+            if value is not None
+        ]
+        if overridden:
+            print(
+                f"error: {', '.join(overridden)} cannot be changed on "
+                "--append; mining parameters come from the session "
+                "(the incremental result must match a from-scratch re-mine)",
+                file=sys.stderr,
+            )
+            return 2
+        session = read_session(args.session)
+        series_set = read_time_series_csv(args.append)
+        n_before = session.n_sequences
+        process = FTPMfTS(
+            split_config=SplitConfig(window_length=args.window, overlap=args.overlap),
+            symbolizers=_symbolizer_from_args(args),
+            mining_config=session.config.with_engine(engine, args.workers),
+        )
+        result = process.mine_incremental(series_set, session)
+        write_session(session, args.session)
+        print(
+            f"appended {session.n_sequences - n_before} sequences to "
+            f"{args.session} (now {session.n_sequences} total)"
+        )
+    else:
+        series_set = read_time_series_csv(args.input)
+        if args.approximate and args.mi_threshold is None and args.density is None:
+            # Sensible default matching the paper's recommendation of a dense graph.
+            args.density = 0.6
+        config = MiningConfig(
+            min_support=0.5 if args.support is None else args.support,
+            min_confidence=0.5 if args.confidence is None else args.confidence,
+            epsilon=0.0 if args.epsilon is None else args.epsilon,
+            min_overlap=1e-9 if args.min_overlap is None else args.min_overlap,
+            tmax=args.tmax,
+            max_pattern_size=args.max_size,
+            engine=engine,
+            n_workers=args.workers,
+        )
+        process = FTPMfTS(
+            split_config=SplitConfig(window_length=args.window, overlap=args.overlap),
+            symbolizers=_symbolizer_from_args(args),
+            mining_config=config,
+            approximate=args.approximate,
+            mi_threshold=args.mi_threshold,
+            graph_density=args.density,
+        )
+        session = process.create_session() if args.session else None
+        result = process.mine(series_set, session=session)
+        if session is not None:
+            write_session(session, args.session)
+            print(
+                f"saved mining session ({session.n_sequences} sequences) "
+                f"to {args.session}"
+            )
 
     if args.output.endswith(".csv"):
         path = write_patterns_csv(result, args.output)

@@ -31,6 +31,7 @@ from .event_pruning import (
 from .events import EventKey, TemporalEvent, collect_events, format_event, parse_event
 from .hpg import CombinationNode, EventNode, HierarchicalPatternGraph, PatternEntry
 from .htpgm import HTPGM
+from .session import MiningSession
 from .mutual_information import (
     conditional_entropy,
     confidence_lower_bound,
@@ -68,6 +69,7 @@ __all__ = [
     "PatternEntry",
     "HTPGM",
     "AHTPGM",
+    "MiningSession",
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",

@@ -83,6 +83,20 @@ class Bitmap:
             bits = combine(bits, other._bits)
         return cls(first._length, bits)
 
+    def resized(self, length: int) -> "Bitmap":
+        """Copy of this bitmap with ``length`` addressable bits.
+
+        Growing pads with zero bits — the representation of sequences
+        appended to the database in which the indexed object does not
+        (yet) occur.  Shrinking would silently drop support evidence, so it
+        is rejected.
+        """
+        if length < self._length:
+            raise ConfigurationError(
+                f"cannot shrink a Bitmap from {self._length} to {length} bits"
+            )
+        return Bitmap(length, self._bits)
+
     # ------------------------------------------------------------------ basics
     @property
     def length(self) -> int:

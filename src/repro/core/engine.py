@@ -32,7 +32,10 @@ and the merge applies the inverse permutation — so the merged node order, and
 therefore the mined pattern set and the golden fixtures, is byte-identical to
 a serial run while skewed levels no longer wait on one overloaded shard.
 Without cost estimates (or with ``cost_balanced=False``) the backend falls
-back to contiguous equal-count shards.
+back to contiguous equal-count shards.  ``shards_per_worker`` optionally
+over-decomposes the split (N shards per worker instead of one) so residual
+cost-model error on very skewed levels is absorbed by the executor's
+first-free-worker scheduling instead of stalling a whole worker.
 
 *Summary-only final-level payloads.*  When the coordinator knows a level is
 the last one (``LevelContext.final_level``, set by the miner when
@@ -41,6 +44,10 @@ surviving patterns down to per-sequence occurrence *counts* before pickling
 the result back (:meth:`~repro.core.hpg.PatternEntry.summarise`).  Occurrence
 lists of a final level are never extended again, so only the pickle traffic
 shrinks — supports, confidences and the mined pattern set are untouched.
+The same slimming applies to *dead-end* nodes of any level ``k >= 3`` when
+transitivity pruning is active (``LevelContext.summarise_dead_ends``): a
+node none of whose events shares a frequent pair node with a further event
+can never be extended (Lemma 5), so its occurrences ship as counts too.
 
 *Generic sharded map.*  :meth:`ExecutionBackend.map_shards` runs any pure
 ``func(payload, items)`` over item shards with the same worker transports;
@@ -128,6 +135,14 @@ class LevelContext:
     workers then return pattern + support/occurrence-count summaries instead
     of full occurrence lists, cutting the pickled return payload; the serial
     backend ignores the flag, so a serial graph keeps full occurrences.
+
+    ``summarise_dead_ends`` extends the same optimisation to levels that
+    merely *happen* to be final for some nodes: with transitivity pruning
+    active, a node none of whose events shares a frequent pair with any
+    further event can never be extended (Lemma 5 rejects every extension),
+    so parallel workers summarise such *dead-end* nodes before pickling.
+    The miner only sets the flag when transitivity pruning is on (without it
+    the worker cannot prove a node dead) and occurrence retention is off.
     """
 
     level: int
@@ -139,6 +154,7 @@ class LevelContext:
         default_factory=dict
     )
     final_level: bool = False
+    summarise_dead_ends: bool = False
 
     def event_support(self, event: EventKey) -> int:
         """Support of a frequent event (0 when absent, mirroring the graph)."""
@@ -539,13 +555,51 @@ def _summarise_final_level(outcome: LevelOutcome) -> LevelOutcome:
     return outcome
 
 
+def _summarise_dead_end_nodes(
+    context: LevelContext, outcome: LevelOutcome
+) -> LevelOutcome:
+    """Summarise nodes that provably cannot be extended at the next level.
+
+    With transitivity pruning active, extending a node requires an event that
+    forms a frequent pair node with *every* event of the node (Lemma 5; the
+    workers enforce exactly this via :func:`_may_extend`, so a node failing
+    it for every candidate event will never have its occurrences read again).
+    The adjacency of the frequent pair set is known from
+    ``context.pair_patterns``, so each produced node is checked against it
+    and dead ends ship as summaries, like a known-final level would.  The
+    adjacency rebuild is per shard but O(|frequent pairs|) set inserts —
+    noise next to the evaluation work the shard just did — and is skipped
+    entirely when the shard produced nothing.
+    """
+    if not outcome.nodes:
+        return outcome
+    partners: dict[EventKey, set[EventKey]] = {}
+    for (event_a, event_b), patterns in context.pair_patterns.items():
+        if patterns:
+            partners.setdefault(event_a, set()).add(event_b)
+            partners.setdefault(event_b, set()).add(event_a)
+    for node in outcome.nodes:
+        node_events = set(node.events)
+        extendable = any(
+            extension not in node_events
+            and all(extension in partners.get(event, ()) for event in node.events)
+            for extension in partners.get(node.events[0], ())
+        )
+        if not extendable:
+            for entry in node.patterns.values():
+                entry.summarise()
+    return outcome
+
+
 def _evaluate_level_shard(
     context: LevelContext, candidates: list[Candidate]
 ) -> LevelOutcome:
-    """Worker body of the process backend: evaluate, then slim final levels."""
+    """Worker body of the process backend: evaluate, then slim the payload."""
     outcome = evaluate_candidates(context, candidates)
     if context.final_level:
         _summarise_final_level(outcome)
+    elif context.summarise_dead_ends:
+        _summarise_dead_end_nodes(context, outcome)
     return outcome
 
 
@@ -591,6 +645,13 @@ class ProcessPoolBackend:
     * On spawn-only platforms (Windows) a persistent pool is kept and the
       payload is pickled once per shard.
 
+    ``shards_per_worker`` over-decomposes the split: targeting ``N`` shards
+    per worker (instead of exactly one) bounds the damage of a cost-model
+    miss on very skewed levels — a shard that turns out heavier than
+    estimated delays only ``1/N`` of a worker's assignment, because the
+    executor hands the remaining shards to whichever workers free up first.
+    The default of 1 keeps the historical one-shard-per-worker behaviour.
+
     Batches smaller than ``min_candidates_per_worker * 2`` are evaluated
     in-process: for tiny levels the scheduling overhead dwarfs the work being
     distributed.
@@ -603,6 +664,7 @@ class ProcessPoolBackend:
         n_workers: int | None = None,
         min_candidates_per_worker: int = 4,
         cost_balanced: bool = True,
+        shards_per_worker: int = 1,
     ) -> None:
         if n_workers is not None and n_workers < 1:
             raise ConfigurationError(
@@ -613,9 +675,14 @@ class ProcessPoolBackend:
                 "min_candidates_per_worker must be >= 1, "
                 f"got {min_candidates_per_worker}"
             )
+        if shards_per_worker < 1:
+            raise ConfigurationError(
+                f"shards_per_worker must be >= 1, got {shards_per_worker}"
+            )
         self.n_workers = n_workers if n_workers is not None else available_workers()
         self.min_candidates_per_worker = min_candidates_per_worker
         self.cost_balanced = cost_balanced
+        self.shards_per_worker = shards_per_worker
         #: Only a cost-balancing backend can use the miner's estimates.
         self.wants_costs = cost_balanced
         self._executor: ProcessPoolExecutor | None = None
@@ -678,7 +745,10 @@ class ProcessPoolBackend:
         return self._run_shards(func, payload, shards)
 
     def _shard_count(self, n_items: int) -> int:
-        return min(self.n_workers, max(1, n_items // self.min_candidates_per_worker))
+        return min(
+            self.n_workers * self.shards_per_worker,
+            max(1, n_items // self.min_candidates_per_worker),
+        )
 
     def would_shard(self, n_items: int) -> bool:
         """Whether a batch of ``n_items`` would actually be split across workers.
@@ -717,7 +787,7 @@ class ProcessPoolBackend:
         _FORK_PAYLOAD = (func, payload)
         try:
             with ProcessPoolExecutor(
-                max_workers=len(shards),
+                max_workers=min(len(shards), self.n_workers),
                 mp_context=multiprocessing.get_context("fork"),
             ) as executor:
                 futures = [executor.submit(_call_forked, shard) for shard in shards]
@@ -728,7 +798,8 @@ class ProcessPoolBackend:
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (
             f"ProcessPoolBackend(n_workers={self.n_workers}, "
-            f"cost_balanced={self.cost_balanced})"
+            f"cost_balanced={self.cost_balanced}, "
+            f"shards_per_worker={self.shards_per_worker})"
         )
 
 

@@ -15,21 +15,17 @@ The miner works level by level over the Hierarchical Pattern Graph:
   instances of the new event, verifying each new relation against level 2
   (Lemmas 4, 6, 7) before accepting it (Alg. 1, lines 15–20).
 
-Candidate *generation* (cheap, order-sensitive) happens here; candidate
-*evaluation* (expensive, embarrassingly parallel) is delegated to an
-:class:`~repro.core.engine.ExecutionBackend`.  The default
-``SerialBackend`` evaluates in-process exactly like the original
-single-threaded miner; ``ProcessPoolBackend`` shards each level's candidates
-across worker processes.  For backends that ask for it (``wants_costs``),
-the miner hands each candidate list a per-candidate *cost estimate* —
-level 2: instance-pair counts over shared sequences; level k: parent
-occurrence counts × new-event instance counts — so a parallel backend can
-build near-equal-cost shards instead of equal-count ones (see
-:func:`_estimate_pair_costs` / :func:`_estimate_combination_costs`; backends
-that would discard the estimates never pay for them).  Select a backend via
-``MiningConfig(engine="process", n_workers=4)`` or inject one through the
-``backend`` argument; every backend produces the identical pattern set
-(enforced by the parity and golden-fixture tests).
+Since the incremental-mining refactor, the level-wise machinery lives in
+:class:`~repro.core.session.MiningSession`: candidate *generation* (cheap,
+order-sensitive) happens in the session, candidate *evaluation* (expensive,
+embarrassingly parallel) is delegated to an
+:class:`~repro.core.engine.ExecutionBackend`, and all per-run state — level-1
+bitmaps, node trees, statistics — is explicit session state.  :class:`HTPGM`
+is the stable one-shot façade: :meth:`HTPGM.mine` creates a throwaway session,
+runs the levels and builds the result, which keeps the historical behaviour
+(including the parallel payload optimisations) byte-identical.  Callers that
+want to *keep* the state — to append new sequences later, or to persist it via
+:mod:`repro.io.session_io` — use a :class:`MiningSession` directly.
 
 Both pruning families can be switched off through
 :class:`~repro.core.config.PruningMode`, which only changes the amount of work,
@@ -44,154 +40,15 @@ they may be arbitrary (unpicklable) callables under any backend.
 
 from __future__ import annotations
 
-import time
-from collections.abc import Callable
-from itertools import combinations
-
-from ..exceptions import MiningError
 from ..timeseries.sequences import SequenceDatabase
-from .bitmap import Bitmap
 from .config import MiningConfig
-from .engine import (
-    Candidate,
-    ExecutionBackend,
-    LevelContext,
-    apriori_pair_prune,
-    backend_from_config,
-)
-from .events import EventKey, collect_events
-from .hpg import EventNode, HierarchicalPatternGraph
-from .patterns import PatternMeasures, TemporalPattern
-from .result import MinedPattern, MiningResult
+from .engine import ExecutionBackend, backend_from_config
+from .hpg import HierarchicalPatternGraph
+from .result import MiningResult
+from .session import EventFilter, MiningSession, PairFilter
 from .stats import MiningStatistics
 
 __all__ = ["HTPGM"]
-
-#: Predicate deciding whether an event participates in mining at all.
-EventFilter = Callable[[EventKey], bool]
-#: Predicate deciding whether an event pair may form level-2 candidates.
-PairFilter = Callable[[EventKey, EventKey], bool]
-
-
-def _restrict_level1(
-    graph: HierarchicalPatternGraph, candidates: list[Candidate]
-) -> dict[EventKey, EventNode]:
-    """Level-1 nodes of only the events appearing in ``candidates``.
-
-    The level context travels to worker processes, so shipping just the
-    needed event nodes (bitmaps + instance lists) keeps the payload minimal
-    when filters or transitivity pruning have narrowed the candidate set.
-    """
-    needed = {event for candidate in candidates for event in candidate}
-    return {event: graph.level1[event] for event in graph.level1 if event in needed}
-
-
-# --------------------------------------------------------------------------- cost model
-def _backend_uses_costs(backend: ExecutionBackend, n_candidates: int) -> bool:
-    """Whether estimating candidate costs for this level is worth anything.
-
-    Estimates matter only to a cost-balancing backend (``wants_costs``) that
-    will actually shard the batch (``would_shard``); for every other
-    combination — the serial backend, ``cost_balanced=False``, or a level too
-    small to split — the estimates would be discarded, so the miner skips the
-    estimation pass entirely.
-    """
-    if not getattr(backend, "wants_costs", False):
-        return False
-    would_shard = getattr(backend, "would_shard", None)
-    return would_shard is None or would_shard(n_candidates)
-
-
-def _estimate_pair_costs(
-    graph: HierarchicalPatternGraph,
-    candidates: list[Candidate],
-    config: MiningConfig,
-    min_count: int,
-) -> list[float]:
-    """Per-candidate evaluation cost estimates for level 2.
-
-    The dominant cost of a surviving pair is relation classification over the
-    chronologically ordered instance pairs in shared sequences, so the
-    estimate is the product of the two instance counts summed over the shared
-    sequences (the self-pair analogue: instances choose two).  Pairs the
-    Apriori checks of Lemmas 2–3 would discard stop after one bitmap
-    intersection, so they are estimated at unit cost.
-
-    Pairs that Lemma 2 *certainly* prunes — the smaller event support is
-    already below the threshold, an upper bound on the joint support — are
-    recognised without any bitmap work, so on prune-dominated workloads the
-    estimation pre-pass does not replicate the level's intersections
-    serially.  For the remaining pairs the estimator repeats the bitmap AND
-    the worker will perform — one word-wise intersection + popcount,
-    negligible next to the instance-pair classification it predicts;
-    shipping the intersections to the workers instead would grow the very
-    payload the engine tries to keep small.
-    """
-    uses_apriori = config.pruning.uses_apriori
-    costs: list[float] = []
-    for event_a, event_b in candidates:
-        node_a = graph.level1[event_a]
-        node_b = graph.level1[event_b]
-        if uses_apriori and min(node_a.support, node_b.support) < min_count:
-            costs.append(1.0)
-            continue
-        joint = node_a.bitmap & node_b.bitmap
-        joint_support = joint.count()
-        if joint_support == 0 or (
-            apriori_pair_prune(
-                joint_support, node_a.support, node_b.support, min_count, config
-            )
-            is not None
-        ):
-            costs.append(1.0)
-            continue
-        same_event = event_a == event_b
-        pair_count = 0
-        for sequence_id in joint.indices():
-            n_a = len(node_a.instances_by_sequence.get(sequence_id, ()))
-            if same_event:
-                pair_count += n_a * (n_a - 1) // 2
-            else:
-                pair_count += n_a * len(
-                    node_b.instances_by_sequence.get(sequence_id, ())
-                )
-        costs.append(float(max(pair_count, 1)))
-    return costs
-
-
-def _estimate_combination_costs(
-    graph: HierarchicalPatternGraph, candidates: list[Candidate], level: int
-) -> list[float]:
-    """Per-candidate evaluation cost estimates for level ``k >= 3``.
-
-    Evaluating a combination extends every stored occurrence of every parent
-    ``(k-1)``-node with the instances of the remaining event, so the estimate
-    sums, over each (parent, new event) decomposition, the per-sequence
-    product of parent occurrence counts and new-event instance counts.
-    """
-    parents = graph.levels.get(level - 1, {})
-    occurrence_counts: dict[tuple[EventKey, ...], dict[int, int]] = {}
-    for parent_key, parent in parents.items():
-        counts: dict[int, int] = {}
-        for entry in parent.patterns.values():
-            for sequence_id, assignments in entry.occurrences.items():
-                counts[sequence_id] = counts.get(sequence_id, 0) + len(assignments)
-        occurrence_counts[parent_key] = counts
-    costs: list[float] = []
-    for candidate in candidates:
-        cost = 0
-        for new_event in candidate:
-            parent_key = tuple(e for e in candidate if e != new_event)
-            parent_counts = occurrence_counts.get(parent_key)
-            if not parent_counts:
-                continue
-            instances = graph.level1[new_event].instances_by_sequence
-            for sequence_id, n_occurrences in parent_counts.items():
-                n_instances = len(instances.get(sequence_id, ()))
-                if n_instances:
-                    cost += n_occurrences * n_instances
-        costs.append(float(max(cost, 1)))
-    return costs
 
 
 class HTPGM:
@@ -211,7 +68,8 @@ class HTPGM:
         calls and stays owned (and closed) by the caller.
 
     After :meth:`mine` the constructed Hierarchical Pattern Graph is available
-    as :attr:`graph_` for inspection and testing.
+    as :attr:`graph_`, the work counters as :attr:`statistics_` and the
+    underlying (non-appendable) session as :attr:`session_`.
     """
 
     def __init__(
@@ -225,270 +83,36 @@ class HTPGM:
         self.event_filter = event_filter
         self.pair_filter = pair_filter
         self.backend = backend
+        self.session_: MiningSession | None = None
         self.graph_: HierarchicalPatternGraph | None = None
         self.statistics_: MiningStatistics | None = None
-        # Level 2 is immutable once mined, so its pattern-identity snapshot
-        # (used by the transitivity checks at every level >= 3) is built once
-        # per run and reused.
-        self._pair_patterns: dict[
-            tuple[EventKey, EventKey], frozenset[TemporalPattern]
-        ] | None = None
 
     # ------------------------------------------------------------------ public API
     def mine(self, database: SequenceDatabase) -> MiningResult:
-        """Mine all frequent temporal patterns from a sequence database."""
-        if len(database) == 0:
-            raise MiningError("cannot mine an empty sequence database")
+        """Mine all frequent temporal patterns from a sequence database.
 
-        started = time.perf_counter()
-        config = self.config
-        stats = MiningStatistics(n_sequences=len(database))
-        min_count = config.support_count(len(database))
-        graph = HierarchicalPatternGraph(n_sequences=len(database))
-        self.graph_ = graph
-        self._pair_patterns = None
-
+        Thin wrapper over :class:`MiningSession`: create a throwaway session
+        (``retain_occurrences=False`` keeps the parallel payload slimming
+        active), run the levels, build the result.  For incremental
+        workloads create a retaining session instead and call
+        :meth:`MiningSession.append` as new sequences arrive.
+        """
+        session = MiningSession(
+            config=self.config,
+            event_filter=self.event_filter,
+            pair_filter=self.pair_filter,
+            retain_occurrences=False,
+        )
         backend = self.backend
         owns_backend = backend is None
         if owns_backend:
-            backend = backend_from_config(config)
+            backend = backend_from_config(self.config)
         try:
-            self._mine_single_events(database, graph, stats, min_count)
-            max_size = config.max_pattern_size
-            if max_size is None or max_size >= 2:
-                self._mine_pairs(graph, stats, min_count, backend)
-                level = 3
-                while (max_size is None or level <= max_size) and graph.nodes_at(level - 1):
-                    produced = self._mine_level(graph, stats, min_count, level, backend)
-                    if not produced:
-                        break
-                    level += 1
+            result = session.mine(database, backend=backend)
         finally:
             if owns_backend:
                 backend.close()
-
-        runtime = time.perf_counter() - started
-        self.graph_ = graph
-        self.statistics_ = stats
-        return self._build_result(graph, stats, runtime, backend)
-
-    # ------------------------------------------------------------------ level 1
-    def _mine_single_events(
-        self,
-        database: SequenceDatabase,
-        graph: HierarchicalPatternGraph,
-        stats: MiningStatistics,
-        min_count: int,
-    ) -> None:
-        """Alg. 1 lines 1–4: frequent single events via one database scan."""
-        level_start = time.perf_counter()
-        events = collect_events(database)
-        stats.events_scanned = len(events)
-        for key, event in events.items():
-            if self.event_filter is not None and not self.event_filter(key):
-                continue
-            bitmap = Bitmap.from_indices(
-                len(database), event.instances_by_sequence.keys()
-            )
-            if bitmap.count() >= min_count:
-                graph.add_event_node(
-                    EventNode(
-                        event=key,
-                        bitmap=bitmap,
-                        instances_by_sequence=event.instances_by_sequence,
-                    )
-                )
-        stats.frequent_events = len(graph.level1)
-        stats.patterns_found[1] = len(graph.level1)
-        stats.level_seconds[1] = time.perf_counter() - level_start
-
-    # ------------------------------------------------------------------ level 2
-    def _mine_pairs(
-        self,
-        graph: HierarchicalPatternGraph,
-        stats: MiningStatistics,
-        min_count: int,
-        backend: ExecutionBackend,
-    ) -> None:
-        """Alg. 1 lines 5–14: frequent 2-event patterns.
-
-        Generates the candidate pairs (applying A-HTPGM's ``pair_filter``
-        here, in the coordinating process) and estimates each pair's
-        evaluation cost, then delegates the per-pair evaluation to the
-        backend.
-        """
-        level_start = time.perf_counter()
-        config = self.config
-        frequent = graph.frequent_events()
-
-        candidate_pairs: list[Candidate] = list(combinations(frequent, 2))
-        if config.allow_self_relations:
-            candidate_pairs.extend((event, event) for event in frequent)
-        if self.pair_filter is not None:
-            candidate_pairs = [
-                pair for pair in candidate_pairs if self.pair_filter(*pair)
-            ]
-
-        costs = (
-            _estimate_pair_costs(graph, candidate_pairs, config, min_count)
-            if _backend_uses_costs(backend, len(candidate_pairs))
-            else None
-        )
-        context = LevelContext(
-            level=2,
-            config=config,
-            min_count=min_count,
-            level1=_restrict_level1(graph, candidate_pairs),
-            final_level=config.max_pattern_size == 2,
-        )
-        self._run_level(
-            graph, stats, backend, context, candidate_pairs, level_start, costs
-        )
-
-    # ------------------------------------------------------------------ level k >= 3
-    def _mine_level(
-        self,
-        graph: HierarchicalPatternGraph,
-        stats: MiningStatistics,
-        min_count: int,
-        level: int,
-        backend: ExecutionBackend,
-    ) -> bool:
-        """Alg. 1 lines 15–20: frequent k-event patterns for one level."""
-        level_start = time.perf_counter()
-        config = self.config
-        prev_nodes = graph.nodes_at(level - 1)
-        frequent = graph.frequent_events()
-
-        if config.pruning.uses_transitivity:
-            allowed_events = {
-                event for node in prev_nodes for event in node.events
-            }
-            stats.bump(
-                stats.pruned_transitivity_events,
-                level,
-                len(frequent) - len([e for e in frequent if e in allowed_events]),
-            )
-            extension_events = [e for e in frequent if e in allowed_events]
-        else:
-            extension_events = list(frequent)
-
-        # Candidate combinations: (k-1)-node events plus one new single event.
-        # Self-relation nodes (the same event paired with itself) are only kept
-        # for their own 2-event patterns and are not grown further, so every
-        # combination of three or more events consists of distinct events.
-        candidates: set[Candidate] = set()
-        for node in prev_nodes:
-            node_events = set(node.events)
-            if len(node_events) < len(node.events):
-                continue
-            for event in extension_events:
-                if event in node_events:
-                    continue
-                candidates.add(tuple(sorted((*node.events, event))))
-
-        pair_patterns: dict[tuple[EventKey, EventKey], frozenset[TemporalPattern]] = {}
-        if config.pruning.uses_transitivity:
-            if self._pair_patterns is None:
-                self._pair_patterns = {
-                    events: frozenset(node.patterns)
-                    for events, node in graph.levels.get(2, {}).items()
-                }
-            pair_patterns = self._pair_patterns
-        ordered_candidates = sorted(candidates)
-        costs = (
-            _estimate_combination_costs(graph, ordered_candidates, level)
-            if _backend_uses_costs(backend, len(ordered_candidates))
-            else None
-        )
-        context = LevelContext(
-            level=level,
-            config=config,
-            min_count=min_count,
-            level1=_restrict_level1(graph, ordered_candidates),
-            parents=dict(graph.levels.get(level - 1, {})),
-            pair_patterns=pair_patterns,
-            final_level=config.max_pattern_size == level,
-        )
-        return self._run_level(
-            graph, stats, backend, context, ordered_candidates, level_start, costs
-        )
-
-    # ------------------------------------------------------------------ shared helpers
-    def _run_level(
-        self,
-        graph: HierarchicalPatternGraph,
-        stats: MiningStatistics,
-        backend: ExecutionBackend,
-        context: LevelContext,
-        candidates: list[Candidate],
-        level_start: float,
-        costs: list[float] | None = None,
-    ) -> bool:
-        """Delegate one level's candidates to the backend and merge the outcome.
-
-        ``costs`` carries the per-candidate cost estimates computed during
-        generation for cost-balancing backends (``wants_costs``); it is
-        ``None`` for backends that would ignore the estimates.
-
-        ``level_seconds`` is assembled as *evaluation time + coordinator
-        overhead*: the backend reports the evaluation wall-clock (for parallel
-        backends: the slowest shard, per
-        :meth:`MiningStatistics.merge_shard`), and the time this process spent
-        generating candidates, building the context and attaching the
-        resulting nodes is added on top.  Summing per-shard times instead
-        would overstate the level cost by up to the worker count.
-        """
-        backend_start = time.perf_counter()
-        outcome = backend.run(context, candidates, costs)
-        backend_elapsed = time.perf_counter() - backend_start
-
-        for node in outcome.nodes:
-            graph.add_combination_node(node)
-        stats.absorb_counters(outcome.stats)
-        evaluation_seconds = outcome.stats.level_seconds.get(context.level, 0.0)
-        overhead = max(
-            0.0, (time.perf_counter() - level_start) - backend_elapsed
-        )
-        stats.level_seconds[context.level] = evaluation_seconds + overhead
-        return bool(outcome.nodes)
-
-    def _build_result(
-        self,
-        graph: HierarchicalPatternGraph,
-        stats: MiningStatistics,
-        runtime: float,
-        backend: ExecutionBackend,
-    ) -> MiningResult:
-        """Collect every stored pattern into a :class:`MiningResult`."""
-        mined = []
-        n_sequences = graph.n_sequences
-        for _level, _node, entry in graph.iter_pattern_entries():
-            support = entry.support
-            max_event_support = max(
-                graph.event_support(event) for event in entry.pattern.events
-            )
-            # Every sequence supporting the pattern contains each of its
-            # events, so support <= max_event_support and the ratio is
-            # already in (0, 1] — no clamp needed.
-            confidence = support / max_event_support if max_event_support else 0.0
-            mined.append(
-                MinedPattern(
-                    pattern=entry.pattern,
-                    measures=PatternMeasures(
-                        support=support,
-                        relative_support=support / n_sequences,
-                        confidence=confidence,
-                    ),
-                )
-            )
-        mined.sort(key=lambda m: (m.size, -m.support, m.pattern.describe()))
-        return MiningResult(
-            patterns=mined,
-            config=self.config,
-            n_sequences=n_sequences,
-            statistics=stats,
-            runtime_seconds=runtime,
-            algorithm="E-HTPGM",
-            engine=backend.name,
-        )
+        self.session_ = session
+        self.graph_ = session.graph
+        self.statistics_ = session.statistics
+        return result

@@ -1,7 +1,9 @@
-"""Import/export helpers for time series, symbolic databases and mined patterns."""
+"""Import/export helpers for time series, symbolic databases, mined patterns
+and incremental mining sessions."""
 
 from .csv_io import read_time_series_csv, write_symbolic_csv, write_time_series_csv
 from .patterns_io import read_patterns_json, write_patterns_csv, write_patterns_json
+from .session_io import read_session, write_session
 
 __all__ = [
     "read_time_series_csv",
@@ -10,4 +12,6 @@ __all__ = [
     "write_patterns_json",
     "read_patterns_json",
     "write_patterns_csv",
+    "read_session",
+    "write_session",
 ]

@@ -1,0 +1,116 @@
+"""Persistence of incremental mining sessions.
+
+A :class:`~repro.core.session.MiningSession` holds everything an append needs:
+level-1 bitmaps and instance lists of every event (frequent or not), the node
+trees with their occurrence evidence, the configuration and the statistics.
+:func:`write_session` snapshots that state to a file and :func:`read_session`
+restores it, so the typical production loop becomes::
+
+    repro mine  --input day1.csv ... --session state.bin --output p1.json
+    repro mine  --append day2.csv ... --session state.bin --output p2.json
+
+The payload is a versioned pickle envelope over exactly the object shapes
+that already cross process boundaries inside
+:class:`~repro.core.engine.LevelContext` (``EventNode``, ``CombinationNode``,
+``PatternEntry``, ``MiningConfig``, ``MiningStatistics``) — anything a worker
+can evaluate, a session file can persist.  Like any pickle, a session file is
+a trusted artefact: only load files you wrote.
+
+Sessions carrying A-HTPGM's event/pair filters cannot be serialised
+(arbitrary callables do not round-trip through a file), and only sessions
+mined with ``retain_occurrences=True`` are accepted — a summarised graph
+could not honour a later append.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+from ..core.hpg import HierarchicalPatternGraph
+from ..core.session import MiningSession
+from ..exceptions import DataError, MiningError
+
+__all__ = ["read_session", "write_session"]
+
+#: Envelope identity and schema version of the session file format.
+FORMAT_NAME = "repro-mining-session"
+FORMAT_VERSION = 1
+
+
+def write_session(session: MiningSession, path: str | Path) -> Path:
+    """Snapshot a mined, appendable session to ``path``."""
+    if session.graph is None:
+        raise MiningError("cannot save a session before mine() has populated it")
+    if not session.retain_occurrences:
+        raise MiningError(
+            "cannot save a session mined without retained occurrences; "
+            "appends against it would be impossible"
+        )
+    if session.event_filter is not None or session.pair_filter is not None:
+        raise MiningError(
+            "sessions carrying event/pair filters cannot be serialised; "
+            "filters are arbitrary callables"
+        )
+    payload = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "config": session.config,
+        "n_sequences": session.n_sequences,
+        "events": session.events,
+        "level1_keys": list(session.graph.level1.keys()),
+        "levels": session.graph.levels,
+        "statistics": session.statistics,
+        "appends": session.appends,
+    }
+    path = Path(path)
+    with path.open("wb") as handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    return path
+
+
+def read_session(path: str | Path) -> MiningSession:
+    """Restore a session written by :func:`write_session`."""
+    path = Path(path)
+    try:
+        with path.open("rb") as handle:
+            payload = pickle.load(handle)
+    except (
+        pickle.UnpicklingError,
+        EOFError,
+        AttributeError,
+        ValueError,
+        IndexError,
+        # Foreign pickles may reference classes from modules this
+        # installation does not have.
+        ImportError,
+    ) as error:
+        raise DataError(f"{path} is not a mining-session file: {error}") from error
+    if not isinstance(payload, dict) or payload.get("format") != FORMAT_NAME:
+        raise DataError(f"{path} is not a mining-session file")
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise DataError(
+            f"{path} uses session format version {version!r}; "
+            f"this build reads version {FORMAT_VERSION}"
+        )
+
+    try:
+        session = MiningSession(config=payload["config"], retain_occurrences=True)
+        session.n_sequences = payload["n_sequences"]
+        session.events = payload["events"]
+        # Level-1 nodes are the same objects as their ``events`` entries
+        # (pickle preserves identity within one payload), so the graph is
+        # rebuilt by key.
+        session.graph = HierarchicalPatternGraph(
+            n_sequences=payload["n_sequences"],
+            level1={key: payload["events"][key] for key in payload["level1_keys"]},
+            levels=payload["levels"],
+        )
+        session.statistics = payload["statistics"]
+        session.appends = payload["appends"]
+    except KeyError as error:
+        raise DataError(
+            f"{path} is missing session payload entry {error}"
+        ) from error
+    return session

@@ -4,6 +4,13 @@
 series → symbolic database → temporal sequence database) and *temporal pattern
 mining* (E-HTPGM or A-HTPGM).  :func:`mine_time_series` is the one-call
 convenience wrapper used by the quickstart example.
+
+Incremental mining threads through the same pipeline: create a
+:class:`~repro.core.session.MiningSession` via :meth:`FTPMfTS.create_session`
+(or pass ``session=`` to :func:`mine_time_series`), mine the initial series
+into it, then fold newly arrived series through
+:meth:`FTPMfTS.mine_incremental` — the result is guaranteed identical to
+re-mining everything from scratch, at a fraction of the work.
 """
 
 from __future__ import annotations
@@ -13,9 +20,11 @@ from dataclasses import dataclass
 
 from .core.approximate import AHTPGM
 from .core.config import MiningConfig
+from .core.engine import backend_from_config
 from .core.htpgm import HTPGM
 from .core.result import MiningResult
-from .exceptions import ConfigurationError
+from .core.session import MiningSession
+from .exceptions import ConfigurationError, MiningError
 from .timeseries.segmentation import SplitConfig, split_into_sequences
 from .timeseries.sequences import SequenceDatabase
 from .timeseries.series import TimeSeriesSet
@@ -78,15 +87,33 @@ class FTPMfTS:
         sequence_db = split_into_sequences(symbolic_db, self.split_config)
         return symbolic_db, sequence_db
 
-    def mine(self, series_set: TimeSeriesSet) -> MiningResult:
-        """Run the complete process and return the frequent temporal patterns."""
+    def mine(
+        self, series_set: TimeSeriesSet, session: MiningSession | None = None
+    ) -> MiningResult:
+        """Run the complete process and return the frequent temporal patterns.
+
+        With a fresh ``session`` (see :meth:`create_session`), the mined
+        state is kept inside it so later arrivals can be folded in through
+        :meth:`mine_incremental` instead of re-mining from scratch.
+        """
         symbolic_db, sequence_db = self.transform(series_set)
-        return self.mine_transformed(symbolic_db, sequence_db)
+        return self.mine_transformed(symbolic_db, sequence_db, session=session)
 
     def mine_transformed(
-        self, symbolic_db: SymbolicDatabase, sequence_db: SequenceDatabase
+        self,
+        symbolic_db: SymbolicDatabase,
+        sequence_db: SequenceDatabase,
+        session: MiningSession | None = None,
     ) -> MiningResult:
         """Mining phase only, for callers that already hold ``DSYB`` and ``DSEQ``."""
+        if session is not None:
+            self._check_session(session)
+            if session.mined:
+                raise MiningError(
+                    "session already holds mined state; use mine_incremental() "
+                    "to fold new series into it"
+                )
+            return self._run_session(session.mine, sequence_db)
         if self.approximate:
             miner = AHTPGM(
                 config=self.mining_config,
@@ -95,6 +122,59 @@ class FTPMfTS:
             )
             return miner.mine(sequence_db, symbolic_db)
         return HTPGM(config=self.mining_config).mine(sequence_db)
+
+    # ------------------------------------------------------------------ incremental
+    def create_session(self) -> MiningSession:
+        """A fresh, appendable mining session bound to this pipeline's config."""
+        if self.approximate:
+            raise ConfigurationError(
+                "incremental sessions require the exact miner (approximate=False)"
+            )
+        return MiningSession(config=self.mining_config)
+
+    def mine_incremental(
+        self, series_set: TimeSeriesSet, session: MiningSession
+    ) -> MiningResult:
+        """Fold newly arrived series into a mined session.
+
+        The series are transformed with this pipeline's symbolisers and split
+        configuration, appended to the session as new sequences, and the
+        incrementally updated pattern set is returned — identical to what
+        re-mining old and new data together from scratch would produce.
+        """
+        self._check_session(session)
+        _, sequence_db = self.transform(series_set)
+        return self._run_session(session.append, sequence_db)
+
+    def _check_session(self, session: MiningSession) -> None:
+        """Reject sessions that cannot represent this pipeline's mining run."""
+        if self.approximate:
+            raise ConfigurationError(
+                "incremental sessions require the exact miner (approximate=False)"
+            )
+        expected = session.config.with_engine(
+            self.mining_config.engine, self.mining_config.n_workers
+        )
+        if expected != self.mining_config:
+            raise ConfigurationError(
+                "session was created with a different MiningConfig than this "
+                "pipeline; thresholds and pruning must match for the "
+                "incremental invariant to hold"
+            )
+
+    def _run_session(self, operation, sequence_db: SequenceDatabase) -> MiningResult:
+        """Run a session operation on the backend this pipeline selects.
+
+        The pipeline's ``engine`` / ``n_workers`` choice wins over whatever
+        the session was created (or last run) with, so a serially mined
+        session file can be appended to with the process engine and vice
+        versa.
+        """
+        backend = backend_from_config(self.mining_config)
+        try:
+            return operation(sequence_db, backend=backend)
+        finally:
+            backend.close()
 
 
 def mine_time_series(
@@ -109,6 +189,7 @@ def mine_time_series(
     graph_density: float | None = None,
     engine: str = "serial",
     n_workers: int | None = None,
+    session: MiningSession | None = None,
     **config_kwargs,
 ) -> MiningResult:
     """One-call convenience wrapper around :class:`FTPMfTS`.
@@ -118,6 +199,12 @@ def mine_time_series(
     ``config_kwargs`` are forwarded to
     :class:`~repro.core.config.MiningConfig` (``epsilon``, ``tmax``,
     ``max_pattern_size``, ``pruning``, ...).
+
+    ``session`` optionally captures the mined state for incremental reuse: a
+    fresh :class:`~repro.core.session.MiningSession` created with the same
+    ``MiningConfig`` is populated by this call, and new series can later be
+    folded in via :meth:`FTPMfTS.mine_incremental` or
+    :meth:`MiningSession.append` without re-mining from scratch.
     """
     process = FTPMfTS(
         split_config=SplitConfig(window_length=window_length, overlap=overlap),
@@ -133,4 +220,4 @@ def mine_time_series(
         mi_threshold=mi_threshold,
         graph_density=graph_density,
     )
-    return process.mine(series_set)
+    return process.mine(series_set, session=session)

@@ -212,13 +212,13 @@ class TestCostBalancedSharding:
 
     def test_miner_skips_estimation_for_backends_that_ignore_costs(self, monkeypatch):
         """Backends without wants_costs never pay for cost estimation."""
-        import repro.core.htpgm as htpgm_module
+        import repro.core.session as session_module
 
         calls = []
         for name in ("_estimate_pair_costs", "_estimate_combination_costs"):
-            original = getattr(htpgm_module, name)
+            original = getattr(session_module, name)
             monkeypatch.setattr(
-                htpgm_module,
+                session_module,
                 name,
                 lambda *args, _original=original, _name=name: (
                     calls.append(_name),
@@ -239,6 +239,163 @@ class TestCostBalancedSharding:
         with ProcessPoolBackend(n_workers=2, min_candidates_per_worker=1) as backend:
             HTPGM(config, backend=backend).mine(database)
         assert "_estimate_pair_costs" in calls
+
+
+class TestShardOverDecomposition:
+    """ProcessPoolBackend(shards_per_worker=N): finer shards, same answer."""
+
+    def test_shard_count_honours_shards_per_worker(self):
+        backend = ProcessPoolBackend(
+            n_workers=2, min_candidates_per_worker=1, shards_per_worker=4
+        )
+        assert backend._shard_count(100) == 8
+        assert backend._shard_count(3) == 3  # still capped by the batch size
+        assert backend.would_shard(2)
+        single = ProcessPoolBackend(n_workers=2, min_candidates_per_worker=1)
+        assert single.shards_per_worker == 1
+        assert single._shard_count(100) == 2
+
+    def test_split_cost_balanced_shard_counts(self):
+        """The LPT splitter produces the over-decomposed shard count, each
+        shard ascending, covering every index exactly once."""
+        costs = [float(c) for c in [90, 80, 70, 60] + [1] * 28]
+        backend = ProcessPoolBackend(
+            n_workers=2, min_candidates_per_worker=1, shards_per_worker=4
+        )
+        shards = backend._shard_indices(backend._shard_count(len(costs)), costs, len(costs))
+        assert len(shards) == 8
+        flattened = sorted(index for shard in shards for index in shard)
+        assert flattened == list(range(len(costs)))
+        assert all(shard == sorted(shard) for shard in shards)
+        # No shard carries two of the four heavy candidates.
+        heavy_per_shard = [sum(1 for i in shard if i < 4) for shard in shards]
+        assert max(heavy_per_shard) == 1
+
+    def test_empty_shards_are_dropped(self):
+        # More shards than items with all-equal costs: LPT leaves some empty.
+        shards = _split_cost_balanced([1.0, 1.0, 1.0], 8)
+        assert len(shards) == 3
+        assert all(shard for shard in shards)
+
+    def test_over_decomposed_mining_parity(self):
+        database = random_database(seed=17)
+        config = MiningConfig(min_support=0.3, min_confidence=0.3, min_overlap=1.0)
+        serial = HTPGM(config, backend=SerialBackend()).mine(database)
+        with ProcessPoolBackend(
+            n_workers=2, min_candidates_per_worker=1, shards_per_worker=4
+        ) as backend:
+            parallel = HTPGM(config, backend=backend).mine(database)
+        assert_parity(serial, parallel)
+
+    def test_invalid_shards_per_worker_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProcessPoolBackend(n_workers=2, shards_per_worker=0)
+
+
+class TestDeadEndSummaries:
+    """Nodes that provably cannot be extended ship as summaries (Lemma 5)."""
+
+    @staticmethod
+    def _two_triangle_database(n_sequences=12):
+        """Two disjoint series triangles (A,B,C) and (D,E,F).
+
+        Cross-triangle events never co-occur in a sequence, so no frequent
+        pair bridges the triangles: every 3-event node is confined to one
+        triangle and has no fourth event sharing a pair with all three — a
+        guaranteed dead end, with enough level-3 candidates to shard.
+        """
+        sequences = []
+        for sequence_id in range(n_sequences):
+            triangle = ("A", "B", "C") if sequence_id % 2 == 0 else ("D", "E", "F")
+            instances = [
+                EventInstance(
+                    start=float(offset * 20),
+                    end=float(offset * 20 + 10),
+                    series=series,
+                    symbol="On",
+                )
+                for offset, series in enumerate(triangle)
+            ]
+            sequences.append(TemporalSequence(sequence_id, instances))
+        return SequenceDatabase(sequences)
+
+    def test_dead_end_level3_nodes_ship_as_summaries(self):
+        """No max_pattern_size is set, yet the level-3 entries arrive
+        summarised because no fourth event shares a pair with all three."""
+        database = self._two_triangle_database()
+        config = MiningConfig(min_support=0.3, min_confidence=0.3, min_overlap=1.0)
+        serial_miner = HTPGM(config, backend=SerialBackend())
+        serial = serial_miner.mine(database)
+        with ProcessPoolBackend(n_workers=2, min_candidates_per_worker=1) as backend:
+            parallel_miner = HTPGM(config, backend=backend)
+            parallel = parallel_miner.mine(database)
+        assert_parity(serial, parallel)
+        final_entries = [
+            entry
+            for node in parallel_miner.graph_.nodes_at(3)
+            for entry in node.patterns.values()
+        ]
+        assert final_entries, "the database must produce 3-event patterns"
+        assert all(entry.is_summary for entry in final_entries)
+        assert all(entry.occurrences == {} for entry in final_entries)
+        # Supports survive, matching the serial graph entry for entry.
+        serial_supports = {
+            (node.events, entry.pattern): entry.support
+            for node in serial_miner.graph_.nodes_at(3)
+            for entry in node.patterns.values()
+        }
+        parallel_supports = {
+            (node.events, entry.pattern): entry.support
+            for node in parallel_miner.graph_.nodes_at(3)
+            for entry in node.patterns.values()
+        }
+        assert serial_supports == parallel_supports
+        # The serial graph is untouched by the optimisation.
+        assert all(
+            not entry.is_summary
+            for node in serial_miner.graph_.nodes_at(3)
+            for entry in node.patterns.values()
+        )
+
+    def test_no_summaries_without_transitivity_pruning(self):
+        """Without Lemma 5 a worker cannot prove a node dead: no summaries."""
+        database = self._two_triangle_database()
+        config = MiningConfig(
+            min_support=0.3,
+            min_confidence=0.3,
+            min_overlap=1.0,
+            pruning=PruningMode.APRIORI,
+        )
+        with ProcessPoolBackend(n_workers=2, min_candidates_per_worker=1) as backend:
+            miner = HTPGM(config, backend=backend)
+            serial = HTPGM(config, backend=SerialBackend()).mine(database)
+            parallel = miner.mine(database)
+        assert_parity(serial, parallel)
+        assert all(
+            not entry.is_summary
+            for node in miner.graph_.nodes_at(3)
+            for entry in node.patterns.values()
+        )
+
+    def test_extendable_nodes_keep_their_occurrences(self):
+        """With a fourth series around, level-3 nodes may extend: full lists."""
+        database = random_database(seed=29, n_sequences=10, n_series=4)
+        config = MiningConfig(min_support=0.25, min_confidence=0.25, min_overlap=1.0)
+        with ProcessPoolBackend(n_workers=2, min_candidates_per_worker=1) as backend:
+            miner = HTPGM(config, backend=backend)
+            parallel = miner.mine(database)
+        serial = HTPGM(config, backend=SerialBackend()).mine(database)
+        assert_parity(serial, parallel)
+        levels = miner.graph_.levels
+        if 4 in levels and levels[4]:
+            # Any level-3 node that fed a level-4 node must have kept its
+            # occurrences when it was mined (the extension read them).
+            extended_parents = {
+                tuple(sorted(set(events) - {event}))
+                for events in levels[4]
+                for event in events
+            }
+            assert any(key in levels.get(3, {}) for key in extended_parents)
 
 
 class TestFinalLevelSummaries:

@@ -107,8 +107,76 @@ class TestPatternsIO:
         first = payload["patterns"][0]
         assert {"pattern", "support", "confidence"} <= set(first)
 
+    def test_json_roundtrip_field_by_field(self, result, tmp_path):
+        """Every exported record and config field survives the round trip."""
+        path = write_patterns_json(result, tmp_path / "patterns.json")
+        payload = read_patterns_json(path)
+        assert payload["patterns"] == result.to_records()
+        config = payload["config"]
+        assert config == {
+            "min_support": result.config.min_support,
+            "min_confidence": result.config.min_confidence,
+            "epsilon": result.config.epsilon,
+            "min_overlap": result.config.min_overlap,
+            "tmax": result.config.tmax,
+            "max_pattern_size": result.config.max_pattern_size,
+            "pruning": result.config.pruning.value,
+        }
+        assert payload["correlated_series"] is None
+        assert payload["runtime_seconds"] == result.runtime_seconds
+        for record in payload["patterns"]:
+            assert set(record) == {
+                "pattern",
+                "size",
+                "events",
+                "relations",
+                "support",
+                "relative_support",
+                "confidence",
+            }
+
     def test_csv_export(self, result, tmp_path):
         path = write_patterns_csv(result, tmp_path / "patterns.csv")
         lines = path.read_text().splitlines()
         assert lines[0] == "pattern,size,support,relative_support,confidence"
         assert len(lines) == len(result) + 1
+
+    def test_csv_header_is_stable(self, result, tmp_path):
+        """Downstream dashboards key on these exact columns in this order."""
+        path = write_patterns_csv(result, tmp_path / "patterns.csv")
+        header = path.read_text().splitlines()[0]
+        assert header == "pattern,size,support,relative_support,confidence"
+        # An empty result still writes the identical header.
+        from repro.core.result import MiningResult
+
+        empty = MiningResult(patterns=[], config=result.config, n_sequences=4)
+        empty_path = write_patterns_csv(empty, tmp_path / "empty.csv")
+        assert empty_path.read_text().splitlines() == [header]
+
+    def test_export_of_summarised_final_level(self, paper_sequence_db, tmp_path):
+        """Patterns whose occurrence lists were summarised away by parallel
+        final-level workers export exactly like their serial counterparts."""
+        from repro import ProcessPoolBackend
+
+        config = MiningConfig(
+            min_support=0.5, min_confidence=0.5, min_overlap=1.0, max_pattern_size=3
+        )
+        serial_miner = HTPGM(config)
+        serial = serial_miner.mine(paper_sequence_db)
+        with ProcessPoolBackend(n_workers=2, min_candidates_per_worker=1) as backend:
+            miner = HTPGM(config, backend=backend)
+            result = miner.mine(paper_sequence_db)
+        summarised = [
+            entry
+            for node in miner.graph_.nodes_at(3)
+            for entry in node.patterns.values()
+            if entry.is_summary
+        ]
+        assert summarised, "the paper database must reach the summarised level"
+        assert all(entry.occurrences == {} for entry in summarised)
+        json_path = write_patterns_json(result, tmp_path / "patterns.json")
+        payload = read_patterns_json(json_path)
+        assert payload["patterns"] == serial.to_records()
+        csv_path = write_patterns_csv(result, tmp_path / "patterns.csv")
+        serial_csv = write_patterns_csv(serial, tmp_path / "serial.csv")
+        assert csv_path.read_text() == serial_csv.read_text()

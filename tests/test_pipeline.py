@@ -139,3 +139,113 @@ class TestMineTimeSeriesConvenience:
             pruning="none",
         )
         assert result.config.pruning.value == "none"
+
+
+def _restrict_days(series_set: TimeSeriesSet, start_day: int, end_day: int, step=10.0):
+    """Slice whole days out of an aligned series set (windows stay aligned)."""
+    samples_per_day = int(1440 / step)
+    lo, hi = start_day * samples_per_day, end_day * samples_per_day
+    return TimeSeriesSet(
+        [
+            TimeSeries(s.name, s.timestamps[lo:hi].copy(), s.values[lo:hi].copy())
+            for s in series_set.series
+        ]
+    )
+
+
+class TestIncrementalPipeline:
+    CONFIG = MiningConfig(
+        min_support=0.5, min_confidence=0.5, min_overlap=5.0, max_pattern_size=2
+    )
+
+    def _process(self, **overrides):
+        return FTPMfTS(
+            split_config=SplitConfig(window_length=1440.0),
+            mining_config=overrides.pop("mining_config", self.CONFIG),
+            **overrides,
+        )
+
+    @staticmethod
+    def _tuples(result):
+        return [
+            (m.pattern.events, m.pattern.relations, m.support, m.confidence)
+            for m in result
+        ]
+
+    def test_mine_incremental_matches_scratch(self, toy_household):
+        process = self._process()
+        base = _restrict_days(toy_household, 0, 10)
+        delta = _restrict_days(toy_household, 10, 12)
+        session = process.create_session()
+        process.mine(base, session=session)
+        incremental = process.mine_incremental(delta, session)
+        scratch = process.mine(toy_household)
+        assert self._tuples(incremental) == self._tuples(scratch)
+        assert session.n_sequences == 12
+
+    def test_mine_time_series_session_parameter(self, toy_household):
+        from repro import MiningSession
+
+        base = _restrict_days(toy_household, 0, 10)
+        session = MiningSession(self.CONFIG)
+        result = mine_time_series(
+            base,
+            window_length=1440.0,
+            min_support=0.5,
+            min_confidence=0.5,
+            min_overlap=5.0,
+            max_pattern_size=2,
+            session=session,
+        )
+        assert session.mined
+        assert session.n_sequences == 10
+        assert self._tuples(result) == self._tuples(
+            self._process().mine(base)
+        )
+
+    def test_mined_session_rejected_for_full_mine(self, toy_household):
+        from repro import MiningError
+
+        process = self._process()
+        session = process.create_session()
+        process.mine(toy_household, session=session)
+        with pytest.raises(MiningError):
+            process.mine(toy_household, session=session)
+
+    def test_session_config_mismatch_rejected(self, toy_household):
+        from repro import MiningSession
+
+        process = self._process()
+        foreign = MiningSession(MiningConfig(min_support=0.9))
+        with pytest.raises(ConfigurationError):
+            process.mine(toy_household, session=foreign)
+
+    def test_engine_difference_is_not_a_mismatch(self, toy_household):
+        """A serially mined session can be appended with the process engine."""
+        from repro import MiningSession
+
+        base = _restrict_days(toy_household, 0, 10)
+        delta = _restrict_days(toy_household, 10, 12)
+        session = MiningSession(self.CONFIG)
+        serial_process = self._process()
+        serial_process.mine(base, session=session)
+        parallel_process = self._process(
+            mining_config=self.CONFIG.with_engine("process", 2)
+        )
+        incremental = parallel_process.mine_incremental(delta, session)
+        scratch = serial_process.mine(toy_household)
+        assert self._tuples(incremental) == self._tuples(scratch)
+
+    def test_approximate_pipeline_rejects_sessions(self, toy_household):
+        process = FTPMfTS(
+            split_config=SplitConfig(window_length=1440.0),
+            mining_config=self.CONFIG,
+            approximate=True,
+            mi_threshold=0.2,
+        )
+        with pytest.raises(ConfigurationError):
+            process.create_session()
+        from repro import MiningSession
+
+        with pytest.raises(ConfigurationError):
+            process.mine(toy_household, session=MiningSession(self.CONFIG))

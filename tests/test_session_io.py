@@ -1,0 +1,137 @@
+"""Save/load round-trips for incremental mining sessions (repro.io.session_io)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import DataError, MiningConfig, MiningError, MiningSession
+from repro.io import read_session, write_session
+from repro.io.session_io import FORMAT_NAME, FORMAT_VERSION
+
+from test_session import mined_tuples, random_database, split_database
+
+CONFIG = MiningConfig(min_support=0.3, min_confidence=0.3, min_overlap=1.0)
+
+
+@pytest.fixture()
+def mined_session():
+    session = MiningSession(CONFIG)
+    session.mine(random_database(0, n_sequences=14))
+    return session
+
+
+class TestRoundTrip:
+    def test_loaded_session_equals_original(self, mined_session, tmp_path):
+        path = write_session(mined_session, tmp_path / "state.bin")
+        loaded = read_session(path)
+        assert loaded.config == mined_session.config
+        assert loaded.n_sequences == mined_session.n_sequences
+        assert loaded.retain_occurrences
+        assert loaded.appends == mined_session.appends
+        assert set(loaded.events) == set(mined_session.events)
+        assert list(loaded.graph.level1) == list(mined_session.graph.level1)
+        assert {
+            level: set(nodes) for level, nodes in loaded.graph.levels.items()
+        } == {
+            level: set(nodes)
+            for level, nodes in mined_session.graph.levels.items()
+        }
+
+    def test_append_after_reload_matches_append_on_original(
+        self, mined_session, tmp_path
+    ):
+        """The acid test: persistence must not perturb the merge."""
+        delta = random_database(9, n_sequences=3).sequences
+        path = write_session(mined_session, tmp_path / "state.bin")
+        loaded = read_session(path)
+        original_result = mined_session.append(list(delta))
+        loaded_result = loaded.append(list(delta))
+        assert mined_tuples(loaded_result) == mined_tuples(original_result)
+
+    def test_save_load_save_chain(self, tmp_path):
+        """Sessions survive repeated persist/append cycles, as the CLI does."""
+        database = random_database(1, n_sequences=16)
+        base, delta = split_database(database, 0.75)
+        session = MiningSession(CONFIG)
+        session.mine(base)
+        path = tmp_path / "state.bin"
+        for sequence in delta:
+            write_session(session, path)
+            session = read_session(path)
+            result = session.append([sequence])
+        from repro import HTPGM
+
+        assert mined_tuples(result) == mined_tuples(HTPGM(CONFIG).mine(database))
+        assert session.appends == len(delta)
+
+    def test_level1_nodes_share_identity_with_events(self, mined_session, tmp_path):
+        path = write_session(mined_session, tmp_path / "state.bin")
+        loaded = read_session(path)
+        for key, node in loaded.graph.level1.items():
+            assert loaded.events[key] is node
+
+
+class TestGuards:
+    def test_unmined_session_rejected(self, tmp_path):
+        with pytest.raises(MiningError):
+            write_session(MiningSession(CONFIG), tmp_path / "state.bin")
+
+    def test_throwaway_session_rejected(self, tmp_path):
+        session = MiningSession(CONFIG, retain_occurrences=False)
+        session.mine(random_database(0))
+        with pytest.raises(MiningError):
+            write_session(session, tmp_path / "state.bin")
+
+    def test_filtered_session_rejected(self, tmp_path):
+        session = MiningSession(CONFIG, event_filter=lambda key: True)
+        session.mine(random_database(0))
+        with pytest.raises(MiningError):
+            write_session(session, tmp_path / "state.bin")
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "garbage.bin"
+        path.write_bytes(b"this is not a session")
+        with pytest.raises(DataError):
+            read_session(path)
+
+    def test_foreign_pickle_rejected(self, tmp_path):
+        path = tmp_path / "other.bin"
+        path.write_bytes(pickle.dumps({"something": "else"}))
+        with pytest.raises(DataError):
+            read_session(path)
+
+    def test_well_formed_envelope_with_missing_keys_rejected(
+        self, mined_session, tmp_path
+    ):
+        path = write_session(mined_session, tmp_path / "state.bin")
+        payload = pickle.loads(path.read_bytes())
+        del payload["events"]
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(DataError, match="missing session payload"):
+            read_session(path)
+
+    def test_pickle_referencing_unknown_module_rejected(self, tmp_path):
+        """A foreign pickle whose classes are not installed here must be a
+        DataError, not a raw ModuleNotFoundError traceback."""
+        path = tmp_path / "foreign.bin"
+        # Protocol-2 pickle of an instance of no_such_module_xyz.Thing.
+        path.write_bytes(
+            b"\x80\x02cno_such_module_xyz\nThing\nq\x00)\x81q\x01."
+        )
+        with pytest.raises(DataError):
+            read_session(path)
+
+    def test_unsupported_version_rejected(self, mined_session, tmp_path):
+        path = write_session(mined_session, tmp_path / "state.bin")
+        payload = pickle.loads(path.read_bytes())
+        assert payload["format"] == FORMAT_NAME
+        payload["version"] = FORMAT_VERSION + 1
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(DataError):
+            read_session(path)
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            read_session(tmp_path / "missing.bin")
