@@ -41,7 +41,16 @@ from .mutual_information import (
     normalized_mutual_information,
 )
 from .patterns import PatternMeasures, TemporalPattern, pair_index, relation_pairs
-from .relations import Relation, classify, contains, follows, overlaps
+from .relation_kernel import classify_pairs
+from .relations import (
+    RELATION_CODES,
+    RELATIONS_BY_CODE,
+    Relation,
+    classify,
+    contains,
+    follows,
+    overlaps,
+)
 from .result import MinedPattern, MiningResult
 from .stats import MiningStatistics
 
@@ -54,7 +63,10 @@ __all__ = [
     "format_event",
     "parse_event",
     "Relation",
+    "RELATIONS_BY_CODE",
+    "RELATION_CODES",
     "classify",
+    "classify_pairs",
     "follows",
     "contains",
     "overlaps",

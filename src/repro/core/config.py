@@ -91,6 +91,15 @@ class MiningConfig:
     n_workers:
         Worker count for the ``"process"`` engine; ``None`` uses all available
         CPUs.  Ignored by the serial engine.
+    vectorized:
+        When True (the default) instance-pair relation classification runs
+        through the NumPy batch kernel
+        (:mod:`repro.core.relation_kernel`) over columnar per-sequence
+        start/end arrays; ``False`` keeps the scalar per-pair reference
+        implementation.  Both paths produce byte-identical results — same
+        patterns, same occurrence order, same work counters — so the flag is
+        purely a performance switch (and the scalar path the executable
+        specification the kernel is fuzzed against).
     """
 
     min_support: float = 0.5
@@ -103,6 +112,7 @@ class MiningConfig:
     pruning: PruningMode = PruningMode.ALL
     engine: str = "serial"
     n_workers: int | None = None
+    vectorized: bool = True
 
     def __post_init__(self) -> None:
         if not 0 < self.min_support <= 1:
@@ -163,6 +173,10 @@ class MiningConfig:
     ) -> "MiningConfig":
         """Copy of this configuration with a different execution backend."""
         return replace(self, engine=engine, n_workers=n_workers)
+
+    def with_vectorized(self, vectorized: bool) -> "MiningConfig":
+        """Copy of this configuration with the relation kernel toggled."""
+        return replace(self, vectorized=vectorized)
 
     def with_thresholds(
         self, min_support: float | None = None, min_confidence: float | None = None

@@ -54,6 +54,16 @@ can never be extended (Lemma 5), so its occurrences ship as counts too.
 A-HTPGM's pairwise-NMI phase (the dominant pre-mining cost) uses it to shard
 series pairs across the same worker pool that later mines the patterns.
 
+Orthogonally to the backend choice, the relation-classification inner loops
+(:func:`_grow_pair_patterns`, :func:`_extend_entry`) route dense sequence
+batches through the vectorized kernel of :mod:`repro.core.relation_kernel`
+when ``MiningConfig.vectorized`` is set (the default), falling back to the
+scalar per-pair reference loop for small batches and for
+``vectorized=False``.  Both paths — under every backend — produce
+byte-identical nodes and counters; the columnar start/end arrays the kernel
+reads are cached on :class:`~repro.core.hpg.EventNode` and are *not* pickled
+into worker payloads (workers rebuild them on first use).
+
 Every backend mines the *identical* pattern set; the parity tests in
 ``tests/test_engine_parity.py`` and the golden fixtures in ``tests/golden/``
 enforce that invariant.  Backends are selected through
@@ -73,6 +83,8 @@ from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Any, Protocol, TypeVar, runtime_checkable
 
+import numpy as np
+
 from ..exceptions import ConfigurationError
 from ..timeseries.sequences import EventInstance
 from .bitmap import Bitmap
@@ -80,7 +92,8 @@ from .config import MiningConfig
 from .events import EventKey
 from .hpg import CombinationNode, EventNode, Occurrence, PatternEntry
 from .patterns import TemporalPattern
-from .relations import Relation, classify
+from .relation_kernel import candidate_windows, classify_pairs, expand_windows
+from .relations import RELATIONS_BY_CODE, Relation, classify
 from .stats import MiningStatistics
 
 __all__ = [
@@ -251,6 +264,17 @@ def _evaluate_pair(
     return _finalise_node(context, node, stats, level=2)
 
 
+#: Minimum instance-pair count for which a sequence batch is routed through
+#: the NumPy relation kernel.  Vectorization pays a fixed per-batch cost
+#: (array slicing, mask allocation, a handful of kernel launches) that only
+#: amortizes over enough pairs; below the threshold the scalar loop is
+#: faster, so the hybrid dispatch keeps sparse workloads at their historical
+#: speed while dense batches get the kernel.  Both paths produce
+#: byte-identical nodes and counters, so the routing is purely a scheduling
+#: choice and can never change the mined output.
+_KERNEL_MIN_PAIRS = 64
+
+
 def _grow_pair_patterns(
     config: MiningConfig,
     node: CombinationNode,
@@ -258,29 +282,199 @@ def _grow_pair_patterns(
     node_b: EventNode,
     stats: MiningStatistics,
 ) -> None:
-    """Classify every chronologically ordered instance pair in shared sequences."""
+    """Classify every chronologically ordered instance pair in shared sequences.
+
+    With ``config.vectorized`` each sequence's pair batch is routed through
+    the NumPy kernel once it is large enough to amortize the kernel overhead
+    (:data:`_KERNEL_MIN_PAIRS`); smaller batches — and every batch when the
+    flag is off — run the scalar reference loop.  The two paths produce
+    byte-identical nodes and counters.
+    """
     same_event = node_a.event == node_b.event
+    vectorized = config.vectorized
+    pattern_cache: dict[tuple[bool, int], TemporalPattern] = {}
     for sequence_id in node.bitmap.indices():
         instances_a = node_a.instances_by_sequence.get(sequence_id, [])
-        instances_b = node_b.instances_by_sequence.get(sequence_id, [])
-        if same_event:
-            ordered_pairs = combinations(instances_a, 2)
+        instances_b = (
+            instances_a
+            if same_event
+            else node_b.instances_by_sequence.get(sequence_id, [])
+        )
+        n_a, n_b = len(instances_a), len(instances_b)
+        n_pairs = n_a * (n_a - 1) // 2 if same_event else n_a * n_b
+        if vectorized and n_pairs >= _KERNEL_MIN_PAIRS:
+            _grow_sequence_pairs_kernel(
+                config,
+                node,
+                node_a,
+                node_b,
+                sequence_id,
+                instances_a,
+                instances_b,
+                same_event,
+                pattern_cache,
+                stats,
+            )
         else:
-            ordered_pairs = (
-                (min(ia, ib), max(ia, ib))
-                for ia in instances_a
-                for ib in instances_b
+            _grow_sequence_pairs_scalar(
+                config, node, sequence_id, instances_a, instances_b, same_event, stats
             )
-        for first, second in ordered_pairs:
-            if config.tmax is not None and second.end - first.start > config.tmax:
-                continue
-            stats.bump(stats.relation_checks, 2)
-            relation = classify(first, second, config.epsilon, config.min_overlap)
-            if relation is None:
-                continue
-            pattern = TemporalPattern(
-                events=(first.event_key, second.event_key), relations=(relation,)
+
+
+def _grow_sequence_pairs_scalar(
+    config: MiningConfig,
+    node: CombinationNode,
+    sequence_id: int,
+    instances_a: list[EventInstance],
+    instances_b: list[EventInstance],
+    same_event: bool,
+    stats: MiningStatistics,
+) -> None:
+    """Scalar reference path: one ``classify`` call per instance pair."""
+    if same_event:
+        ordered_pairs = combinations(instances_a, 2)
+    else:
+        ordered_pairs = (
+            (min(ia, ib), max(ia, ib)) for ia in instances_a for ib in instances_b
+        )
+    for first, second in ordered_pairs:
+        if config.tmax is not None and second.end - first.start > config.tmax:
+            continue
+        stats.bump(stats.relation_checks, 2)
+        relation = classify(first, second, config.epsilon, config.min_overlap)
+        if relation is None:
+            continue
+        pattern = TemporalPattern(
+            events=(first.event_key, second.event_key), relations=(relation,)
+        )
+        node.add_pattern_occurrence(pattern, sequence_id, (first, second))
+
+
+def _cached_pair_pattern(
+    cache: dict[tuple[bool, int], TemporalPattern],
+    event_first: EventKey,
+    event_second: EventKey,
+    swapped: bool,
+    code: int,
+) -> TemporalPattern:
+    """The (at most six per pair node) 2-event patterns, built once each."""
+    key = (swapped, code)
+    pattern = cache.get(key)
+    if pattern is None:
+        pattern = TemporalPattern(
+            events=(event_first, event_second),
+            relations=(RELATIONS_BY_CODE[code],),
+        )
+        cache[key] = pattern
+    return pattern
+
+
+def _grow_sequence_pairs_kernel(
+    config: MiningConfig,
+    node: CombinationNode,
+    node_a: EventNode,
+    node_b: EventNode,
+    sequence_id: int,
+    instances_a: list[EventInstance],
+    instances_b: list[EventInstance],
+    same_event: bool,
+    pattern_cache: dict[tuple[bool, int], TemporalPattern],
+    stats: MiningStatistics,
+) -> None:
+    """Kernel path: classify one sequence's instance pairs in one batch.
+
+    The enumeration order of the scalar loops is preserved exactly — left
+    instances outermost, partner indices ascending (for self pairs: the upper
+    triangle in ``combinations`` order) — because the occurrence insertion
+    order is part of the byte-identical-result contract.  With ``tmax`` set,
+    the ``searchsorted`` prefilter bounds each left instance's partner window
+    before anything is materialised; the pairs it drops are exactly pairs the
+    scalar loop would skip at the ``tmax`` check (their start gap already
+    exceeds ``tmax``), so the ``relation_checks`` counter — which only counts
+    pairs *passing* that check — is unaffected.
+    """
+    tmax = config.tmax
+    key_a, key_b = node_a.event, node_b.event
+    if same_event:
+        n = len(instances_a)
+        starts, ends = node_a.sequence_arrays(sequence_id)
+        # Upper triangle: partners j > i, windowed by tmax on the right.
+        lo = np.arange(1, n + 1, dtype=np.intp)
+        if tmax is None:
+            hi = np.full(n, n, dtype=np.intp)
+        else:
+            hi = np.searchsorted(starts, starts + tmax, side="right")
+        left, right = expand_windows(lo, hi)
+        if left.size == 0:
+            return
+        first_starts, first_ends = starts[left], ends[left]
+        second_starts, second_ends = starts[right], ends[right]
+        swapped = None
+    else:
+        starts_a, ends_a = node_a.sequence_arrays(sequence_id)
+        starts_b, ends_b = node_b.sequence_arrays(sequence_id)
+        lo, hi = candidate_windows(starts_b, starts_a, tmax)
+        left, right = expand_windows(lo, hi)
+        if left.size == 0:
+            return
+        a_starts, a_ends = starts_a[left], ends_a[left]
+        b_starts, b_ends = starts_b[right], ends_b[right]
+        # Chronological ordering per pair (min/max in the instance total
+        # order); keys break full interval ties, and the keys differ.
+        swapped = (b_starts < a_starts) | (
+            (b_starts == a_starts)
+            & ((b_ends < a_ends) | ((b_ends == a_ends) & (key_b < key_a)))
+        )
+        first_starts = np.where(swapped, b_starts, a_starts)
+        first_ends = np.where(swapped, b_ends, a_ends)
+        second_starts = np.where(swapped, a_starts, b_starts)
+        second_ends = np.where(swapped, a_ends, b_ends)
+    if tmax is not None:
+        keep = second_ends - first_starts <= tmax
+        if not keep.all():
+            left, right = left[keep], right[keep]
+            first_starts, first_ends = first_starts[keep], first_ends[keep]
+            second_starts, second_ends = second_starts[keep], second_ends[keep]
+            if swapped is not None:
+                swapped = swapped[keep]
+            if left.size == 0:
+                return
+    codes = classify_pairs(
+        first_starts,
+        first_ends,
+        second_starts,
+        second_ends,
+        config.epsilon,
+        config.min_overlap,
+    )
+    stats.bump(stats.relation_checks, 2, int(codes.size))
+    hits = np.nonzero(codes >= 0)[0]
+    if hits.size == 0:
+        return
+    hit_codes = codes[hits].tolist()
+    hit_left = left[hits].tolist()
+    hit_right = right[hits].tolist()
+    if swapped is None:
+        for index_a, index_b, code in zip(hit_left, hit_right, hit_codes):
+            pattern = _cached_pair_pattern(pattern_cache, key_a, key_a, False, code)
+            node.add_pattern_occurrence(
+                pattern,
+                sequence_id,
+                (instances_a[index_a], instances_a[index_b]),
             )
+    else:
+        hit_swapped = swapped[hits].tolist()
+        for index_a, index_b, code, swap in zip(
+            hit_left, hit_right, hit_codes, hit_swapped
+        ):
+            if swap:
+                first = instances_b[index_b]
+                second = instances_a[index_a]
+                pattern = _cached_pair_pattern(pattern_cache, key_b, key_a, True, code)
+            else:
+                first = instances_a[index_a]
+                second = instances_b[index_b]
+                pattern = _cached_pair_pattern(pattern_cache, key_a, key_b, False, code)
             node.add_pattern_occurrence(pattern, sequence_id, (first, second))
 
 
@@ -361,33 +555,78 @@ def _extend_entry(
     new_event_node: EventNode,
     stats: MiningStatistics,
 ) -> None:
-    """Extend the stored occurrences of one (k-1)-pattern with the new event."""
-    config = context.config
-    pattern = entry.pattern
+    """Extend the stored occurrences of one (k-1)-pattern with the new event.
+
+    With ``config.vectorized``, each sequence whose occurrence-block ×
+    new-instance-block product is large enough to amortize the kernel
+    overhead (:data:`_KERNEL_MIN_PAIRS`) is classified in one batched kernel
+    call; smaller sequences — and everything when the flag is off — run the
+    scalar reference loop.  Both paths produce byte-identical nodes and
+    counters.
+    """
+    vectorized = context.config.vectorized
+    kernel_state: _ExtensionKernelState | None = None
     for sequence_id, occurrences in entry.occurrences.items():
         new_instances = new_event_node.instances_by_sequence.get(sequence_id)
         if not new_instances:
             continue
-        for occurrence in occurrences:
-            last_instance = occurrence[-1]
-            first_instance = occurrence[0]
-            for candidate_instance in new_instances:
-                if candidate_instance <= last_instance:
-                    continue
-                if (
-                    config.tmax is not None
-                    and candidate_instance.end - first_instance.start > config.tmax
-                ):
-                    continue
-                extension = _relations_for_extension(
-                    context, occurrence, candidate_instance, stats
+        if (
+            vectorized
+            and len(occurrences) * len(new_instances) >= _KERNEL_MIN_PAIRS
+        ):
+            if kernel_state is None:
+                kernel_state = _ExtensionKernelState(
+                    context, entry.pattern, new_event_node.event
                 )
-                if extension is None:
-                    continue
-                new_pattern = pattern.extend(candidate_instance.event_key, extension)
-                node.add_pattern_occurrence(
-                    new_pattern, sequence_id, occurrence + (candidate_instance,)
-                )
+            _extend_sequence_kernel(
+                context,
+                node,
+                entry,
+                new_event_node,
+                sequence_id,
+                occurrences,
+                new_instances,
+                kernel_state,
+                stats,
+            )
+        else:
+            _extend_sequence_scalar(
+                context, node, entry, sequence_id, occurrences, new_instances, stats
+            )
+
+
+def _extend_sequence_scalar(
+    context: LevelContext,
+    node: CombinationNode,
+    entry: PatternEntry,
+    sequence_id: int,
+    occurrences: list[Occurrence],
+    new_instances: list[EventInstance],
+    stats: MiningStatistics,
+) -> None:
+    """Scalar reference path: per-occurrence, per-candidate relation checks."""
+    config = context.config
+    pattern = entry.pattern
+    for occurrence in occurrences:
+        last_instance = occurrence[-1]
+        first_instance = occurrence[0]
+        for candidate_instance in new_instances:
+            if candidate_instance <= last_instance:
+                continue
+            if (
+                config.tmax is not None
+                and candidate_instance.end - first_instance.start > config.tmax
+            ):
+                continue
+            extension = _relations_for_extension(
+                context, occurrence, candidate_instance, stats
+            )
+            if extension is None:
+                continue
+            new_pattern = pattern.extend(candidate_instance.event_key, extension)
+            node.add_pattern_occurrence(
+                new_pattern, sequence_id, occurrence + (candidate_instance,)
+            )
 
 
 def _relations_for_extension(
@@ -423,6 +662,162 @@ def _relations_for_extension(
                 return None
         relations.append(relation)
     return tuple(relations)
+
+
+class _ExtensionKernelState:
+    """Per-(entry, new event) constants of the kernel extension path.
+
+    Built lazily on the first sequence that is routed through the kernel:
+
+    * ``allowed`` — the transitivity lookup table.  ``allowed[i, c]`` is True
+      when the 2-event pattern ``(pattern.events[i], new_key)`` with relation
+      code ``c`` is a frequent, confident level-2 pattern — the membership
+      test of Lemmas 4, 6, 7, precomputed once (at most ``3 * (k-1)`` cells)
+      instead of once per instance pair.  ``None`` when transitivity pruning
+      is off.
+    * ``key_after_last`` — tie-break for the strict chronological-successor
+      test: when a candidate instance has exactly the last instance's
+      interval, the instance total order falls through to the
+      ``(series, symbol)`` keys, and the last pattern event is the same for
+      every occurrence of the entry.
+    * ``extended_cache`` — extended patterns by relation-code row, so equal
+      extensions reuse one :class:`TemporalPattern` object.
+    """
+
+    __slots__ = ("allowed", "key_after_last", "extended_cache")
+
+    def __init__(
+        self, context: LevelContext, pattern: TemporalPattern, new_key: EventKey
+    ) -> None:
+        self.key_after_last = new_key > pattern.events[-1]
+        self.extended_cache: dict[bytes, TemporalPattern] = {}
+        if not context.config.pruning.uses_transitivity:
+            self.allowed = None
+            return
+        allowed = np.zeros((len(pattern.events), len(RELATIONS_BY_CODE)), dtype=bool)
+        for position, event in enumerate(pattern.events):
+            known = context.pair_patterns.get(_pair_key(event, new_key))
+            if not known:
+                continue
+            for code, relation in enumerate(RELATIONS_BY_CODE):
+                triple = TemporalPattern(
+                    events=(event, new_key), relations=(relation,)
+                )
+                if triple in known:
+                    allowed[position, code] = True
+        self.allowed = allowed
+
+
+def _extend_sequence_kernel(
+    context: LevelContext,
+    node: CombinationNode,
+    entry: PatternEntry,
+    new_event_node: EventNode,
+    sequence_id: int,
+    occurrences: list[Occurrence],
+    new_instances: list[EventInstance],
+    state: _ExtensionKernelState,
+    stats: MiningStatistics,
+) -> None:
+    """Kernel path: one batched call per (occurrence block × instance block).
+
+    The occurrence endpoints form a ``(n_occurrences, k-1)`` columnar block
+    and the new event's instances a cached column; the
+    chronological-successor and ``tmax`` gates become boolean masks, and a
+    single :func:`classify_pairs` call classifies every remaining
+    (occurrence instance, new instance) pair at once.
+
+    The scalar reference loop early-exits per pair — it stops classifying an
+    extension at its first failing position, counting one ``relation_checks``
+    bump per classification actually performed and one
+    ``pruned_relation_checks`` bump only when the stopper was the
+    transitivity membership test.  The kernel classifies all positions and
+    then *reconstructs* those counters from the first failing position of
+    each row, so the statistics stay byte-identical to the scalar path.
+    Object tuples are only touched again for surviving rows, fetched by index
+    from the filtered survivors.
+    """
+    config = context.config
+    level = context.level
+    pattern = entry.pattern
+    n_events = len(pattern.events)
+    new_key = new_event_node.event
+    tmax = config.tmax
+    candidate_starts, candidate_ends = new_event_node.sequence_arrays(sequence_id)
+    occurrence_starts = np.array(
+        [[instance.start for instance in occurrence] for occurrence in occurrences],
+        dtype=np.float64,
+    )
+    occurrence_ends = np.array(
+        [[instance.end for instance in occurrence] for occurrence in occurrences],
+        dtype=np.float64,
+    )
+    last_starts = occurrence_starts[:, -1:]
+    last_ends = occurrence_ends[:, -1:]
+    feasible = (candidate_starts > last_starts) | (
+        (candidate_starts == last_starts)
+        & (
+            (candidate_ends > last_ends)
+            | ((candidate_ends == last_ends) & state.key_after_last)
+        )
+    )
+    if tmax is not None:
+        feasible &= candidate_ends - occurrence_starts[:, :1] <= tmax
+    occurrence_index, candidate_index = np.nonzero(feasible)
+    if occurrence_index.size == 0:
+        return
+    codes = classify_pairs(
+        occurrence_starts[occurrence_index],
+        occurrence_ends[occurrence_index],
+        candidate_starts[candidate_index, None],
+        candidate_ends[candidate_index, None],
+        config.epsilon,
+        config.min_overlap,
+    )
+    failed = codes < 0
+    transitivity_failed = None
+    if state.allowed is not None:
+        classified = ~failed
+        transitivity_failed = np.zeros_like(failed)
+        transitivity_failed[classified] = ~state.allowed[
+            np.nonzero(classified)[1], codes[classified]
+        ]
+        failed |= transitivity_failed
+    any_failed = failed.any(axis=1)
+    first_failed = failed.argmax(axis=1)
+    # The scalar loop performs first_failed + 1 classifications for a failing
+    # row and n_events for a surviving one.
+    stats.bump(
+        stats.relation_checks,
+        level,
+        int(np.where(any_failed, first_failed + 1, n_events).sum()),
+    )
+    if transitivity_failed is not None:
+        failed_rows = np.nonzero(any_failed)[0]
+        stats.bump(
+            stats.pruned_relation_checks,
+            level,
+            int(transitivity_failed[failed_rows, first_failed[failed_rows]].sum()),
+        )
+    surviving_rows = np.nonzero(~any_failed)[0]
+    if surviving_rows.size == 0:
+        return
+    extended_cache = state.extended_cache
+    for row in surviving_rows.tolist():
+        occurrence = occurrences[occurrence_index[row]]
+        candidate_instance = new_instances[candidate_index[row]]
+        row_codes = codes[row]
+        cache_key = row_codes.tobytes()
+        new_pattern = extended_cache.get(cache_key)
+        if new_pattern is None:
+            new_pattern = pattern.extend(
+                new_key,
+                tuple(RELATIONS_BY_CODE[code] for code in row_codes.tolist()),
+            )
+            extended_cache[cache_key] = new_pattern
+        node.add_pattern_occurrence(
+            new_pattern, sequence_id, occurrence + (candidate_instance,)
+        )
 
 
 def _finalise_node(

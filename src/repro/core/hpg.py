@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..timeseries.sequences import EventInstance
 from .bitmap import Bitmap
 from .events import EventKey
@@ -90,16 +92,107 @@ class PatternEntry:
 
 @dataclass
 class EventNode:
-    """Level-1 node: one frequent single event."""
+    """Level-1 node: one frequent single event.
+
+    Besides the object-level instance lists (the source of truth for
+    occurrence tuples), the node lazily caches a *columnar* view of each
+    sequence — parallel ``float64`` start/end arrays in chronological order —
+    which is what the vectorized relation kernel
+    (:mod:`repro.core.relation_kernel`) consumes.  The caches are derived
+    data: they are dropped when the node is pickled (worker processes and
+    session files rebuild them on demand from the instance lists) and they
+    never need invalidation, because appends only ever add *new* sequence ids
+    — the instance list of an existing sequence is immutable.
+    """
 
     event: EventKey
     bitmap: Bitmap
     instances_by_sequence: dict[int, list[EventInstance]]
+    #: Per-sequence ``(starts, ends)`` float64 arrays, built on first use.
+    _sequence_arrays: dict[int, tuple[np.ndarray, np.ndarray]] | None = field(
+        default=None, repr=False, compare=False
+    )
+    #: Per-sequence instance counts as a dense float64 vector (for the cost
+    #: estimator's dot products), keyed implicitly by its length ``|DSEQ|``.
+    _instance_counts: np.ndarray | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def support(self) -> int:
         """Sequence-level support of the event."""
         return self.bitmap.count()
+
+    def sequence_arrays(self, sequence_id: int) -> tuple[np.ndarray, np.ndarray]:
+        """Columnar ``(starts, ends)`` view of one sequence's instances.
+
+        Built once per sequence and cached; both arrays are chronologically
+        ordered (the instance lists are sorted), so ``starts`` is
+        non-decreasing — the precondition of the ``searchsorted`` prefilter.
+        """
+        cache = self._sequence_arrays
+        if cache is None:
+            cache = {}
+            self._sequence_arrays = cache
+        arrays = cache.get(sequence_id)
+        if arrays is None:
+            instances = self.instances_by_sequence.get(sequence_id, ())
+            n = len(instances)
+            starts = np.fromiter(
+                (instance.start for instance in instances), np.float64, count=n
+            )
+            ends = np.fromiter(
+                (instance.end for instance in instances), np.float64, count=n
+            )
+            arrays = (starts, ends)
+            cache[sequence_id] = arrays
+        return arrays
+
+    def build_sequence_arrays(self, sequence_ids=None) -> None:
+        """Eagerly build the columnar caches (all sequences, or a subset)."""
+        if sequence_ids is None:
+            sequence_ids = self.instances_by_sequence.keys()
+        for sequence_id in sequence_ids:
+            self.sequence_arrays(sequence_id)
+
+    def adopt_sequence_arrays(self, other: "EventNode") -> None:
+        """Take over another node's columnar cache (used by incremental append).
+
+        Valid because appends never mutate an existing sequence's instance
+        list — only new sequence ids appear, and those are absent from the
+        donor's cache.
+        """
+        if other._sequence_arrays:
+            self._sequence_arrays = other._sequence_arrays
+
+    def instance_counts(self, n_sequences: int) -> np.ndarray:
+        """Dense per-sequence instance-count vector of length ``n_sequences``.
+
+        Cached until the database grows (the vector length is the cache key);
+        the cost estimator dots these vectors over shared sequence ids
+        instead of looping in Python.
+        """
+        counts = self._instance_counts
+        if counts is None or len(counts) != n_sequences:
+            counts = np.zeros(n_sequences, dtype=np.float64)
+            for sequence_id, instances in self.instances_by_sequence.items():
+                counts[sequence_id] = len(instances)
+            self._instance_counts = counts
+        return counts
+
+    def __getstate__(self) -> dict:
+        """Pickle without the derived array caches.
+
+        The caches can be large and are cheap to rebuild, so worker processes
+        (:class:`~repro.core.engine.ProcessPoolBackend` pickles
+        :class:`~repro.core.engine.LevelContext`) and session files
+        (:mod:`repro.io.session_io`) transport only the object lists and
+        reconstruct the columnar views on first use.
+        """
+        state = self.__dict__.copy()
+        state["_sequence_arrays"] = None
+        state["_instance_counts"] = None
+        return state
 
 
 @dataclass

@@ -48,9 +48,15 @@ def pair_index(i: int, j: int) -> int:
     return j * (j - 1) // 2 + i
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TemporalPattern:
-    """An n-event temporal pattern (Def. 3.11)."""
+    """An n-event temporal pattern (Def. 3.11).
+
+    ``slots=True`` for the same reason as
+    :class:`~repro.timeseries.sequences.EventInstance`: patterns are
+    materialised per surviving extension and used as dict keys throughout the
+    Hierarchical Pattern Graph, so the per-object saving compounds.
+    """
 
     events: tuple[EventKey, ...]
     relations: tuple[Relation, ...]
@@ -153,7 +159,7 @@ class TemporalPattern:
         return self.describe()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PatternMeasures:
     """Support and confidence of a mined pattern (Defs. 3.14 and 3.16)."""
 

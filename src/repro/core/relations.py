@@ -22,7 +22,15 @@ from enum import Enum
 from ..exceptions import ConfigurationError
 from ..timeseries.sequences import EventInstance
 
-__all__ = ["Relation", "follows", "contains", "overlaps", "classify"]
+__all__ = [
+    "Relation",
+    "RELATIONS_BY_CODE",
+    "RELATION_CODES",
+    "follows",
+    "contains",
+    "overlaps",
+    "classify",
+]
 
 
 class Relation(str, Enum):
@@ -37,8 +45,30 @@ class Relation(str, Enum):
         """Compact notation used in the paper: ``->``, ``<``, ``G``."""
         return {"Follow": "->", "Contain": "<", "Overlap": "G"}[self.value]
 
+    @property
+    def code(self) -> int:
+        """``int8`` code of this relation in the vectorized kernel."""
+        return RELATION_CODES[self]
+
     def __str__(self) -> str:
         return self.value
+
+
+#: Relation per kernel code: index ``c`` holds the relation that
+#: :func:`repro.core.relation_kernel.classify_pairs` encodes as ``c`` (the
+#: code ``-1`` means "no relation" and has no entry).  The tuple order **is**
+#: the code assignment — it mirrors the classification priority of
+#: :func:`classify` and must never be reordered.
+RELATIONS_BY_CODE: tuple[Relation, ...] = (
+    Relation.FOLLOW,
+    Relation.CONTAIN,
+    Relation.OVERLAP,
+)
+
+#: Inverse of :data:`RELATIONS_BY_CODE`: kernel code per relation.
+RELATION_CODES: dict[Relation, int] = {
+    relation: code for code, relation in enumerate(RELATIONS_BY_CODE)
+}
 
 
 def follows(e1: EventInstance, e2: EventInstance, epsilon: float = 0.0) -> bool:

@@ -51,11 +51,14 @@ import time
 from collections.abc import Callable, Iterable
 from itertools import combinations
 
+import numpy as np
+
 from ..exceptions import MiningError
 from ..timeseries.sequences import SequenceDatabase, TemporalSequence
 from .bitmap import Bitmap
 from .config import MiningConfig
 from .engine import (
+    _KERNEL_MIN_PAIRS,
     Candidate,
     ExecutionBackend,
     LevelContext,
@@ -93,6 +96,26 @@ def _restrict_level1(
     return {event: graph.level1[event] for event in graph.level1 if event in needed}
 
 
+def _prebuild_columnar_views(node: EventNode, sequence_ids=None) -> None:
+    """Eagerly build a frequent event's columnar start/end arrays.
+
+    Only instance lists long enough that a pairing could plausibly reach the
+    kernel routing threshold (``len² >= _KERNEL_MIN_PAIRS``) are built here —
+    sparse lists would pay the array-construction cost without the kernel
+    ever reading it.  A short list paired against a very dense partner can
+    still reach the kernel; :meth:`EventNode.sequence_arrays` then builds its
+    arrays lazily, once, on first use.
+    """
+    by_sequence = node.instances_by_sequence
+    if sequence_ids is None:
+        sequence_ids = by_sequence.keys()
+    node.build_sequence_arrays(
+        sequence_id
+        for sequence_id in sequence_ids
+        if len(by_sequence[sequence_id]) ** 2 >= _KERNEL_MIN_PAIRS
+    )
+
+
 # --------------------------------------------------------------------------- cost model
 def _backend_uses_costs(backend: ExecutionBackend, n_candidates: int) -> bool:
     """Whether estimating candidate costs for this level is worth anything.
@@ -120,9 +143,12 @@ def _estimate_pair_costs(
     The dominant cost of a surviving pair is relation classification over the
     chronologically ordered instance pairs in shared sequences, so the
     estimate is the product of the two instance counts summed over the shared
-    sequences (the self-pair analogue: instances choose two).  Pairs the
-    Apriori checks of Lemmas 2–3 would discard stop after one bitmap
-    intersection, so they are estimated at unit cost.
+    sequences (the self-pair analogue: instances choose two) — computed as a
+    dot product of the events' cached per-sequence instance-count vectors
+    (:meth:`EventNode.instance_counts`) over the shared sequence ids, instead
+    of a Python loop per sequence.  Pairs the Apriori checks of Lemmas 2–3
+    would discard stop after one bitmap intersection, so they are estimated
+    at unit cost.
 
     Pairs that Lemma 2 *certainly* prunes — the smaller event support is
     already below the threshold, an upper bound on the joint support — are
@@ -135,6 +161,7 @@ def _estimate_pair_costs(
     payload the engine tries to keep small.
     """
     uses_apriori = config.pruning.uses_apriori
+    n_sequences = graph.n_sequences
     costs: list[float] = []
     for event_a, event_b in candidates:
         node_a = graph.level1[event_a]
@@ -152,17 +179,15 @@ def _estimate_pair_costs(
         ):
             costs.append(1.0)
             continue
-        same_event = event_a == event_b
-        pair_count = 0
-        for sequence_id in joint.indices():
-            n_a = len(node_a.instances_by_sequence.get(sequence_id, ()))
-            if same_event:
-                pair_count += n_a * (n_a - 1) // 2
-            else:
-                pair_count += n_a * len(
-                    node_b.instances_by_sequence.get(sequence_id, ())
-                )
-        costs.append(float(max(pair_count, 1)))
+        shared = np.fromiter(joint.indices(), dtype=np.intp, count=joint_support)
+        counts_a = node_a.instance_counts(n_sequences)[shared]
+        if event_a == event_b:
+            pair_count = float(counts_a @ (counts_a - 1.0)) / 2.0
+        else:
+            pair_count = float(
+                counts_a @ node_b.instance_counts(n_sequences)[shared]
+            )
+        costs.append(max(pair_count, 1.0))
     return costs
 
 
@@ -451,6 +476,8 @@ class MiningSession:
             if self.retain_occurrences:
                 all_nodes[key] = node
             if bitmap.count() >= min_count:
+                if self.config.vectorized:
+                    _prebuild_columnar_views(node)
                 graph.add_event_node(node)
         stats.frequent_events = len(graph.level1)
         stats.patterns_found[1] = len(graph.level1)
@@ -469,25 +496,35 @@ class MiningSession:
         the delta, the set of delta sequence ids containing it — the raw
         material of the *touched candidate* test.
         """
+        vectorized = self.config.vectorized
         merged: dict[EventKey, EventNode] = {}
         delta_ids: dict[EventKey, set[int]] = {}
         for key, node in self.events.items():
             delta = delta_events.get(key)
             if delta is None:
-                merged[key] = EventNode(
+                merged_node = EventNode(
                     event=key,
                     bitmap=node.bitmap.resized(n_new),
                     instances_by_sequence=node.instances_by_sequence,
                 )
+                merged_node.adopt_sequence_arrays(node)
+                merged[key] = merged_node
                 continue
             instances = dict(node.instances_by_sequence)
             instances.update(delta.instances_by_sequence)
             bitmap = node.bitmap.resized(n_new)
             for sequence_id in delta.instances_by_sequence:
                 bitmap.set(sequence_id)
-            merged[key] = EventNode(
+            merged_node = EventNode(
                 event=key, bitmap=bitmap, instances_by_sequence=instances
             )
+            # Appends only add new sequence ids, so the old columnar views
+            # stay valid; extend the cache in place with the delta sequences
+            # instead of rebuilding every sequence's arrays from scratch.
+            merged_node.adopt_sequence_arrays(node)
+            if vectorized:
+                _prebuild_columnar_views(merged_node, delta.instances_by_sequence)
+            merged[key] = merged_node
             delta_ids[key] = set(delta.instances_by_sequence)
         for key, delta in delta_events.items():
             if key in merged:

@@ -34,8 +34,19 @@ from ..exceptions import DataError, MiningError
 __all__ = ["read_session", "write_session"]
 
 #: Envelope identity and schema version of the session file format.
+#: Version history:
+#:
+#: 1. Initial format (dict-based ``EventInstance`` pickles).
+#: 2. ``EventInstance`` became a ``slots=True`` dataclass, which changes the
+#:    pickled per-instance state from a ``__dict__`` payload to the
+#:    field-value sequence consumed by the dataclass-generated
+#:    ``__setstate__``.  A version-1 payload would *not* fail to unpickle —
+#:    ``__setstate__`` zips the fields with the state, and iterating the old
+#:    dict state yields its **keys**, silently assigning ``start="start"``
+#:    etc. — so the version gate below is what turns that silent corruption
+#:    into a clean :class:`DataError`.
 FORMAT_NAME = "repro-mining-session"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 
 def write_session(session: MiningSession, path: str | Path) -> Path:

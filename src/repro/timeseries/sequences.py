@@ -22,12 +22,19 @@ from ..exceptions import DataError
 __all__ = ["EventInstance", "TemporalSequence", "SequenceDatabase"]
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class EventInstance:
     """One occurrence of a temporal event (Def. 3.5).
 
     Ordering is by ``(start, end, series, symbol)`` so sorting a list of
     instances yields the chronological order required by Def. 3.9.
+
+    The dataclass uses ``slots=True``: mining a dense database materialises
+    millions of instances, and slots cut both the per-instance memory (no
+    ``__dict__``) and the attribute-load cost on the scalar code paths that
+    still touch instance objects.  Slots change the pickle wire shape, which
+    is why the session-file envelope version was bumped when they were
+    introduced (see :mod:`repro.io.session_io`).
     """
 
     start: float
