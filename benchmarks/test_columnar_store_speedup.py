@@ -1,0 +1,275 @@
+"""Columnar occurrence store vs the scalar reference path on a dense level-k
+workload, plus the two structural wins the store exists for.
+
+The store's target regime is the level-``k`` hot loop: every surviving
+occurrence used to be an instance-object tuple, and ``_extend_entry`` rebuilt
+its ``(n_occurrences, k-1)`` endpoint blocks from those objects on every call.
+With the columnar store the blocks are gathered from the event nodes' cached
+start/end arrays through the entry's int32 index matrix, and survivors are
+inserted as batched row-stacks instead of per-hit Python calls.
+
+Three measurements accumulate in ``BENCH_columnar_store.json``:
+
+* **end-to-end** — mining the dense database with the vectorized columnar
+  path vs the scalar reference configuration (byte-identical output asserted
+  unconditionally; the ``>= 2x`` timing claim is retry-once-then-skip guarded
+  like every timing claim in this suite);
+* **kernel-block build** — gathering one level-3 entry's endpoint blocks via
+  ``starts[idx]`` vs the legacy per-call list comprehension over instance
+  objects;
+* **pickled shard payload** — the bytes a worker ships back per mined node
+  with index matrices vs the legacy instance-tuple emulation (a structural
+  fact, asserted unconditionally even in smoke mode).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import platform
+import random
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+
+from repro import HTPGM, MiningConfig, MiningSession
+from repro.evaluation import format_table
+from repro.timeseries import EventInstance, SequenceDatabase, TemporalSequence
+
+from _bench_utils import (
+    assert_min_speedup,
+    bench_scale,
+    benchmark_rounds,
+    best_of,
+    emit,
+    smoke_mode,
+)
+
+#: Minimum end-to-end speedup of the vectorized columnar miner over the
+#: scalar reference path on the dense level-k workload (acceptance
+#: criterion; an idle host measures well above it).
+MIN_SPEEDUP = 2.0
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_columnar_store.json"
+
+#: max_pattern_size=3 keeps the workload dominated by the level-3 extension
+#: loop — the store's hottest consumer — while tmax bounds the pair windows
+#: so the scalar reference finishes in benchmark-friendly time.
+CONFIG = MiningConfig(
+    min_support=0.5,
+    min_confidence=0.5,
+    min_overlap=1.0,
+    tmax=120.0,
+    max_pattern_size=3,
+)
+
+
+def dense_database(
+    n_sequences: int = 8,
+    n_series: int = 4,
+    instances_per_series: int = 55,
+    span: float = 1800.0,
+    seed: int = 17,
+) -> SequenceDatabase:
+    """Every series occurs in every sequence with a dense instance train."""
+    scaled = max(8, int(instances_per_series * bench_scale()))
+    rng = random.Random(seed)
+    sequences = []
+    for sequence_id in range(n_sequences):
+        instances = []
+        for rank in range(n_series):
+            for _ in range(scaled):
+                start = round(rng.uniform(0.0, span), 1)
+                duration = round(rng.uniform(3.0, 25.0), 1)
+                instances.append(
+                    EventInstance(start, start + duration, f"S{rank}", "On")
+                )
+        sequences.append(TemporalSequence(sequence_id, instances))
+    return SequenceDatabase(sequences)
+
+
+def _deepest_entries(graph, min_level: int = 3):
+    """All entries of the deepest populated level >= min_level (else level 2)."""
+    level = max(
+        (lv for lv, nodes in graph.levels.items() if nodes), default=min_level - 1
+    )
+    return level, [
+        entry
+        for node in graph.nodes_at(level)
+        for entry in node.patterns.values()
+    ]
+
+
+def _block_build_micro(graph) -> float:
+    """Gather-built endpoint blocks vs the legacy list-comprehension build.
+
+    Times one pass over every (entry, sequence) block of the graph's deepest
+    level — exactly the work ``_extend_sequence_kernel`` performs per call."""
+    _level, entries = _deepest_entries(graph)
+    jobs = []
+    for entry in entries:
+        nodes = [graph.level1[event] for event in entry.pattern.events]
+        for sequence_id, matrix in entry.iter_index_matrices():
+            occurrences = entry.materialise(sequence_id)
+            jobs.append((nodes, sequence_id, matrix, occurrences))
+
+    def gather():
+        total = 0
+        for nodes, sequence_id, matrix, _ in jobs:
+            starts = np.column_stack(
+                [
+                    nodes[j].sequence_arrays(sequence_id)[0][matrix[:, j]]
+                    for j in range(len(nodes))
+                ]
+            )
+            ends = np.column_stack(
+                [
+                    nodes[j].sequence_arrays(sequence_id)[1][matrix[:, j]]
+                    for j in range(len(nodes))
+                ]
+            )
+            total += starts.shape[0] + ends.shape[0]
+        return total
+
+    def legacy():
+        total = 0
+        for _nodes, _sequence_id, _matrix, occurrences in jobs:
+            starts = np.array(
+                [[instance.start for instance in occ] for occ in occurrences],
+                dtype=np.float64,
+            )
+            ends = np.array(
+                [[instance.end for instance in occ] for occ in occurrences],
+                dtype=np.float64,
+            )
+            total += starts.shape[0] + ends.shape[0]
+        return total
+
+    gather_seconds, gathered = best_of(3, gather)
+    legacy_seconds, legacied = best_of(3, legacy)
+    assert gathered == legacied
+    return legacy_seconds / gather_seconds if gather_seconds else float("inf")
+
+
+def _payload_bytes(graph) -> tuple[int, int]:
+    """(columnar, legacy-emulated) pickled bytes of the deepest level's nodes.
+
+    The legacy emulation replaces each entry's index matrices with the
+    materialised instance-tuple lists — the exact payload shape workers
+    shipped before the columnar store — alongside the same node identity and
+    bitmap, so the comparison isolates the occurrence representation."""
+    level, _entries = _deepest_entries(graph)
+    columnar = 0
+    legacy = 0
+    for node in graph.nodes_at(level):
+        columnar += len(pickle.dumps(node, protocol=pickle.HIGHEST_PROTOCOL))
+        emulated = {
+            "events": node.events,
+            "bitmap": node.bitmap,
+            "patterns": {
+                pattern: dict(entry.occurrences)
+                for pattern, entry in node.patterns.items()
+            },
+        }
+        legacy += len(pickle.dumps(emulated, protocol=pickle.HIGHEST_PROTOCOL))
+    return columnar, legacy
+
+
+def _append_result(record: dict) -> None:
+    """Append one measurement to the accumulating perf-trajectory file."""
+    history = []
+    if RESULTS_PATH.exists():
+        try:
+            history = json.loads(RESULTS_PATH.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(record)
+    RESULTS_PATH.write_text(json.dumps(history, indent=1) + "\n")
+
+
+def test_columnar_store_speedup_on_dense_level_k_workload(benchmark):
+    database = dense_database()
+
+    def run():
+        columnar_seconds, columnar_result = best_of(
+            2, lambda: HTPGM(CONFIG).mine(database)
+        )
+        scalar_seconds, scalar_result = best_of(
+            2, lambda: HTPGM(replace(CONFIG, vectorized=False)).mine(database)
+        )
+        return columnar_seconds, columnar_result, scalar_seconds, scalar_result
+
+    next_round = benchmark_rounds(benchmark, run, label="speedup")
+
+    # Structural measurements on a retaining session's graph (summaries off,
+    # so the deepest level keeps its full occurrence store).
+    session = MiningSession(CONFIG)
+    session.mine(database)
+    block_ratio = _block_build_micro(session.graph)
+    payload_columnar, payload_legacy = _payload_bytes(session.graph)
+    # The payload cut is structural, not a timing claim: int32 index matrices
+    # always pickle smaller than the instance-tuple lists they replace.
+    assert payload_columnar < payload_legacy
+
+    def measure():
+        (col_seconds, col_result, sca_seconds, sca_result), label = next_round()
+        # Parity is unconditional: the store must never change the answer.
+        mined = lambda result: [
+            (m.pattern.events, m.pattern.relations, m.support, m.confidence)
+            for m in result
+        ]
+        assert mined(col_result) == mined(sca_result)
+        assert (
+            col_result.statistics.relation_checks
+            == sca_result.statistics.relation_checks
+        )
+        speedup = sca_seconds / col_seconds if col_seconds else float("inf")
+        emit(
+            format_table(
+                ["measurement", "value", "detail"],
+                [
+                    ["scalar end-to-end (s)", f"{sca_seconds:.3f}", ""],
+                    ["columnar end-to-end (s)", f"{col_seconds:.3f}", ""],
+                    [label, f"{speedup:.2f}x", f"(want >= {MIN_SPEEDUP}x)"],
+                    ["kernel-block build", f"{block_ratio:.1f}x", "gather vs list-comp"],
+                    [
+                        "shard payload (bytes)",
+                        f"{payload_columnar}",
+                        f"legacy {payload_legacy} "
+                        f"({payload_legacy / max(payload_columnar, 1):.1f}x larger)",
+                    ],
+                ],
+                title=(
+                    f"Columnar occurrence store: {len(database)} sequences, "
+                    f"{sum(len(s) for s in database)} instances, "
+                    f"tmax={CONFIG.tmax:g}, max_pattern_size={CONFIG.max_pattern_size}"
+                ),
+            )
+        )
+        _append_result(
+            {
+                "benchmark": "columnar_store",
+                "scalar_seconds": round(sca_seconds, 4),
+                "columnar_seconds": round(col_seconds, 4),
+                "speedup": round(speedup, 2),
+                "block_build_speedup": round(block_ratio, 2),
+                "payload_bytes_columnar": payload_columnar,
+                "payload_bytes_legacy": payload_legacy,
+                "min_speedup": MIN_SPEEDUP,
+                "n_sequences": len(database),
+                "n_instances": sum(len(s) for s in database),
+                "n_patterns": len(col_result),
+                "smoke": smoke_mode(),
+                "python": platform.python_version(),
+            }
+        )
+        return speedup, None
+
+    assert_min_speedup(
+        measure,
+        MIN_SPEEDUP,
+        "columnar occurrence store vs scalar reference on the dense level-k workload",
+    )

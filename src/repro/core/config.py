@@ -100,6 +100,26 @@ class MiningConfig:
         patterns, same occurrence order, same work counters — so the flag is
         purely a performance switch (and the scalar path the executable
         specification the kernel is fuzzed against).
+    kernel_min_pairs:
+        Minimum instance-pair batch size routed through the vectorized
+        kernel; smaller batches run the scalar loop, whose per-pair cost
+        beats the kernel's fixed per-batch overhead on sparse sequences.
+        ``None`` (the default) auto-tunes the crossover once per process from
+        a timed scalar-vs-kernel microprobe
+        (:func:`repro.core.engine.calibrate_kernel_min_pairs`), falling back
+        to the historical ``64`` when calibration is unavailable.  Routing is
+        a pure scheduling choice — every threshold mines the identical
+        output — so the knob only affects speed.
+    kernel_chunk_bytes:
+        Approximate byte budget for the transient working set of one
+        vectorized kernel batch — the ``rows × k`` feasibility/relation
+        masks plus the pair index arrays and gathered ``float64`` endpoint
+        blocks that scale with them.  Batches that would exceed the budget
+        are processed in order-preserving chunks with identical results per
+        chunk, which bounds peak memory on dense ``tmax=None`` workloads
+        where a single (occurrence-block × instance-block) product can
+        otherwise allocate gigabytes.  ``None`` disables chunking; the
+        default is 64 MiB.
     """
 
     min_support: float = 0.5
@@ -113,6 +133,8 @@ class MiningConfig:
     engine: str = "serial"
     n_workers: int | None = None
     vectorized: bool = True
+    kernel_min_pairs: int | None = None
+    kernel_chunk_bytes: int | None = 64 * 1024 * 1024
 
     def __post_init__(self) -> None:
         if not 0 < self.min_support <= 1:
@@ -150,6 +172,15 @@ class MiningConfig:
         if self.n_workers is not None and self.n_workers < 1:
             raise ConfigurationError(
                 f"n_workers must be >= 1 or None, got {self.n_workers}"
+            )
+        if self.kernel_min_pairs is not None and self.kernel_min_pairs < 1:
+            raise ConfigurationError(
+                f"kernel_min_pairs must be >= 1 or None, got {self.kernel_min_pairs}"
+            )
+        if self.kernel_chunk_bytes is not None and self.kernel_chunk_bytes < 1:
+            raise ConfigurationError(
+                "kernel_chunk_bytes must be >= 1 or None, "
+                f"got {self.kernel_chunk_bytes}"
             )
 
     # ------------------------------------------------------------------ helpers

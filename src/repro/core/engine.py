@@ -59,10 +59,20 @@ Orthogonally to the backend choice, the relation-classification inner loops
 batches through the vectorized kernel of :mod:`repro.core.relation_kernel`
 when ``MiningConfig.vectorized`` is set (the default), falling back to the
 scalar per-pair reference loop for small batches and for
-``vectorized=False``.  Both paths — under every backend — produce
-byte-identical nodes and counters; the columnar start/end arrays the kernel
-reads are cached on :class:`~repro.core.hpg.EventNode` and are *not* pickled
-into worker payloads (workers rebuild them on first use).
+``vectorized=False``.  The small-batch crossover is auto-tuned once per
+process (:func:`calibrate_kernel_min_pairs`), and oversized batches are
+processed in order-preserving chunks bounded by
+``MiningConfig.kernel_chunk_bytes``.  Both paths — under every backend —
+produce byte-identical nodes and counters, down to the occurrence store
+itself: hits land in the columnar index matrices of
+:class:`~repro.core.hpg.PatternEntry` (per-hit rows on the scalar path, one
+batched block per kernel batch), whose level-``k`` endpoint blocks are then
+*gathered* from the columnar start/end arrays cached on
+:class:`~repro.core.hpg.EventNode`.  Neither the array caches nor the
+entries' instance-source bindings are pickled into worker payloads — workers
+rebuild the former on first use and rebind the latter from
+``LevelContext.level1``, so only the compact index matrices cross the
+process boundary in either direction.
 
 Every backend mines the *identical* pattern set; the parity tests in
 ``tests/test_engine_parity.py`` and the golden fixtures in ``tests/golden/``
@@ -106,6 +116,8 @@ __all__ = [
     "backend_from_config",
     "available_workers",
     "evaluate_candidates",
+    "calibrate_kernel_min_pairs",
+    "effective_kernel_min_pairs",
 ]
 
 #: One unit of level work: the event pair (level 2, generation order, possibly
@@ -272,7 +284,114 @@ def _evaluate_pair(
 #: speed while dense batches get the kernel.  Both paths produce
 #: byte-identical nodes and counters, so the routing is purely a scheduling
 #: choice and can never change the mined output.
+#:
+#: This constant is the *no-calibration fallback*: by default the crossover
+#: is auto-tuned once per process by :func:`calibrate_kernel_min_pairs`
+#: (override with ``MiningConfig(kernel_min_pairs=...)``, disable the probe
+#: with ``REPRO_KERNEL_CALIBRATION=0``).
 _KERNEL_MIN_PAIRS = 64
+
+#: Clamp for the calibrated crossover.  The floor is the historical
+#: :data:`_KERNEL_MIN_PAIRS`: the probe times the bare ``classify_pairs``
+#: call, but the real kernel path also pays for windowing, hit grouping and
+#: block insertion per batch — costs the probe cannot see — so probe
+#: evidence alone is never allowed to *lower* the threshold (it would
+#: over-route small batches to the kernel).  Calibration only raises the
+#: crossover on hosts where NumPy's fixed per-batch overhead is unusually
+#: high; above 4096 pairs the scalar loop has certainly lost.
+_CALIBRATION_BOUNDS = (_KERNEL_MIN_PAIRS, 4096)
+
+#: Per-process cache of the calibrated crossover (forked workers inherit it).
+_calibrated_min_pairs: int | None = None
+
+
+def calibrate_kernel_min_pairs() -> int:
+    """Measure the scalar-vs-kernel crossover batch size on this host.
+
+    One-time per-process microprobe (a few milliseconds, cached — forked
+    worker processes inherit the parent's value): the scalar per-pair cost
+    ``c`` comes from timing :func:`~repro.core.relations.classify` over a
+    synthetic instance batch, the kernel's fixed overhead ``a`` and per-pair
+    slope ``b`` from timing :func:`classify_pairs` at two batch sizes, and
+    the crossover is ``a / (c - b)`` — the batch size where the kernel starts
+    winning — clamped to :data:`_CALIBRATION_BOUNDS`, whose floor is the
+    historical default (see the bounds' docstring for why calibration may
+    only raise the threshold, never lower it).
+
+    Returns :data:`_KERNEL_MIN_PAIRS` when the probe is disabled
+    (``REPRO_KERNEL_CALIBRATION=0``) or yields nothing usable (e.g. the
+    scalar loop measures faster per pair than the kernel slope, which only
+    happens under severe timer noise).  Routing never changes the mined
+    output, so any returned threshold is correct; calibration only moves the
+    scalar/kernel split point to where this host actually breaks even.
+    """
+    global _calibrated_min_pairs
+    if _calibrated_min_pairs is not None:
+        return _calibrated_min_pairs
+    if os.environ.get("REPRO_KERNEL_CALIBRATION", "1").lower() in ("0", "false", "off"):
+        _calibrated_min_pairs = _KERNEL_MIN_PAIRS
+        return _calibrated_min_pairs
+    try:
+        _calibrated_min_pairs = _probe_kernel_crossover()
+    except Exception:  # pragma: no cover - defensive: never fail a mine over timing
+        _calibrated_min_pairs = _KERNEL_MIN_PAIRS
+    return _calibrated_min_pairs
+
+
+def _probe_kernel_crossover(
+    n_pairs: int = 512, small: int = 32, repeats: int = 3
+) -> int:
+    """The timed microprobe behind :func:`calibrate_kernel_min_pairs`."""
+    starts1 = np.linspace(0.0, 100.0, n_pairs)
+    ends1 = starts1 + 2.0 + 3.0 * (np.arange(n_pairs) % 5)
+    starts2 = starts1 + 1.0 + (np.arange(n_pairs) % 7)
+    ends2 = starts2 + 1.0 + 2.0 * (np.arange(n_pairs) % 4)
+    instances = [
+        (
+            EventInstance(float(s1), float(e1), "calib", "A"),
+            EventInstance(float(s2), float(e2), "calib", "B"),
+        )
+        for s1, e1, s2, e2 in zip(starts1, ends1, starts2, ends2)
+    ]
+
+    def timed(run) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            began = time.perf_counter()
+            run()
+            best = min(best, time.perf_counter() - began)
+        return best
+
+    classify_pairs(starts1, ends1, starts2, ends2)  # warm the kernel path
+    scalar_seconds = timed(
+        lambda: [classify(first, second) for first, second in instances]
+    )
+    big_seconds = timed(lambda: classify_pairs(starts1, ends1, starts2, ends2))
+    small_seconds = timed(
+        lambda: classify_pairs(
+            starts1[:small], ends1[:small], starts2[:small], ends2[:small]
+        )
+    )
+    scalar_per_pair = scalar_seconds / n_pairs
+    kernel_slope = max(0.0, (big_seconds - small_seconds) / (n_pairs - small))
+    kernel_overhead = max(0.0, small_seconds - kernel_slope * small)
+    if scalar_per_pair <= kernel_slope or kernel_overhead == 0.0:
+        return _KERNEL_MIN_PAIRS
+    crossover = int(round(kernel_overhead / (scalar_per_pair - kernel_slope)))
+    low, high = _CALIBRATION_BOUNDS
+    return min(max(crossover, low), high)
+
+
+def effective_kernel_min_pairs(config: MiningConfig) -> int:
+    """The kernel-routing threshold this run should use.
+
+    An explicit ``MiningConfig(kernel_min_pairs=...)`` always wins; otherwise
+    the per-process calibrated crossover (computed on first use, 64 when the
+    probe is disabled or unusable).
+    """
+    if config.kernel_min_pairs is not None:
+        return config.kernel_min_pairs
+    return calibrate_kernel_min_pairs()
 
 
 def _grow_pair_patterns(
@@ -292,7 +411,8 @@ def _grow_pair_patterns(
     """
     same_event = node_a.event == node_b.event
     vectorized = config.vectorized
-    pattern_cache: dict[tuple[bool, int], TemporalPattern] = {}
+    min_pairs = effective_kernel_min_pairs(config) if vectorized else 0
+    pattern_cache: dict[tuple[bool, int], tuple[TemporalPattern, tuple]] = {}
     for sequence_id in node.bitmap.indices():
         instances_a = node_a.instances_by_sequence.get(sequence_id, [])
         instances_b = (
@@ -302,7 +422,7 @@ def _grow_pair_patterns(
         )
         n_a, n_b = len(instances_a), len(instances_b)
         n_pairs = n_a * (n_a - 1) // 2 if same_event else n_a * n_b
-        if vectorized and n_pairs >= _KERNEL_MIN_PAIRS:
+        if vectorized and n_pairs >= min_pairs:
             _grow_sequence_pairs_kernel(
                 config,
                 node,
@@ -317,56 +437,140 @@ def _grow_pair_patterns(
             )
         else:
             _grow_sequence_pairs_scalar(
-                config, node, sequence_id, instances_a, instances_b, same_event, stats
+                config,
+                node,
+                node_a,
+                node_b,
+                sequence_id,
+                instances_a,
+                instances_b,
+                same_event,
+                stats,
             )
 
 
 def _grow_sequence_pairs_scalar(
     config: MiningConfig,
     node: CombinationNode,
+    node_a: EventNode,
+    node_b: EventNode,
     sequence_id: int,
     instances_a: list[EventInstance],
     instances_b: list[EventInstance],
     same_event: bool,
     stats: MiningStatistics,
 ) -> None:
-    """Scalar reference path: one ``classify`` call per instance pair."""
+    """Scalar reference path: one ``classify`` call per instance pair.
+
+    Pairs are enumerated with their list positions so every hit is recorded
+    as an index row into the columnar occurrence store — the same store the
+    kernel path fills in blocks."""
+    tmax = config.tmax
+    epsilon = config.epsilon
+    min_overlap = config.min_overlap
+    sources_a = node_a.instances_by_sequence
+    sources_b = node_b.instances_by_sequence
     if same_event:
-        ordered_pairs = combinations(instances_a, 2)
-    else:
-        ordered_pairs = (
-            (min(ia, ib), max(ia, ib)) for ia in instances_a for ib in instances_b
-        )
-    for first, second in ordered_pairs:
-        if config.tmax is not None and second.end - first.start > config.tmax:
-            continue
-        stats.bump(stats.relation_checks, 2)
-        relation = classify(first, second, config.epsilon, config.min_overlap)
-        if relation is None:
-            continue
-        pattern = TemporalPattern(
-            events=(first.event_key, second.event_key), relations=(relation,)
-        )
-        node.add_pattern_occurrence(pattern, sequence_id, (first, second))
+        sources = (sources_a, sources_a)
+        for (index_first, first), (index_second, second) in combinations(
+            enumerate(instances_a), 2
+        ):
+            if tmax is not None and second.end - first.start > tmax:
+                continue
+            stats.bump(stats.relation_checks, 2)
+            relation = classify(first, second, epsilon, min_overlap)
+            if relation is None:
+                continue
+            pattern = TemporalPattern(
+                events=(first.event_key, second.event_key), relations=(relation,)
+            )
+            node.add_pattern_occurrence(
+                pattern, sequence_id, (index_first, index_second), sources
+            )
+        return
+    forward = (sources_a, sources_b)
+    backward = (sources_b, sources_a)
+    for index_a, instance_a in enumerate(instances_a):
+        for index_b, instance_b in enumerate(instances_b):
+            if instance_a <= instance_b:
+                first, second = instance_a, instance_b
+                row, sources = (index_a, index_b), forward
+            else:
+                first, second = instance_b, instance_a
+                row, sources = (index_b, index_a), backward
+            if tmax is not None and second.end - first.start > tmax:
+                continue
+            stats.bump(stats.relation_checks, 2)
+            relation = classify(first, second, epsilon, min_overlap)
+            if relation is None:
+                continue
+            pattern = TemporalPattern(
+                events=(first.event_key, second.event_key), relations=(relation,)
+            )
+            node.add_pattern_occurrence(pattern, sequence_id, row, sources)
 
 
 def _cached_pair_pattern(
-    cache: dict[tuple[bool, int], TemporalPattern],
+    cache: dict[tuple[bool, int], tuple[TemporalPattern, tuple]],
     event_first: EventKey,
     event_second: EventKey,
+    node_first: EventNode,
+    node_second: EventNode,
     swapped: bool,
     code: int,
-) -> TemporalPattern:
-    """The (at most six per pair node) 2-event patterns, built once each."""
+) -> tuple[TemporalPattern, tuple]:
+    """The (at most six per pair node) 2-event patterns + sources, built once each."""
     key = (swapped, code)
-    pattern = cache.get(key)
-    if pattern is None:
-        pattern = TemporalPattern(
-            events=(event_first, event_second),
-            relations=(RELATIONS_BY_CODE[code],),
+    cached = cache.get(key)
+    if cached is None:
+        cached = (
+            TemporalPattern(
+                events=(event_first, event_second),
+                relations=(RELATIONS_BY_CODE[code],),
+            ),
+            (node_first.instances_by_sequence, node_second.instances_by_sequence),
         )
-        cache[key] = pattern
-    return pattern
+        cache[key] = cached
+    return cached
+
+
+#: Approximate transient bytes one level-2 kernel pair costs — two ``intp``
+#: pair indices, four gathered ``float64`` endpoints, the relation masks and
+#: the ``int8`` code — the divisor that turns ``kernel_chunk_bytes`` into a
+#: per-chunk pair cap covering the whole working set, not just the masks.
+_LEVEL2_BYTES_PER_PAIR = 80
+
+
+def _anchor_chunks(lo: np.ndarray, hi: np.ndarray, max_pairs: int | None):
+    """Contiguous anchor ranges whose expanded pair counts fit the mask budget.
+
+    Yields ``(start, stop)`` anchor index ranges covering ``[0, len(lo))`` in
+    order; each range expands to at most ``max_pairs`` pairs (a single anchor
+    whose window alone exceeds the budget forms its own over-budget range, so
+    progress is always made).  ``None`` disables chunking.  Chunking at
+    anchor granularity preserves the anchor-major enumeration order of the
+    scalar loops exactly, so the per-chunk results concatenate to the
+    unchunked ones.
+    """
+    n_anchors = len(lo)
+    if n_anchors == 0:
+        return
+    if max_pairs is None:
+        yield 0, n_anchors
+        return
+    cumulative = np.cumsum(np.maximum(hi - lo, 0))
+    if int(cumulative[-1]) <= max_pairs:
+        yield 0, n_anchors
+        return
+    start = 0
+    consumed = 0
+    while start < n_anchors:
+        stop = int(np.searchsorted(cumulative, consumed + max_pairs, side="right"))
+        if stop <= start:
+            stop = start + 1
+        yield start, stop
+        consumed = int(cumulative[stop - 1])
+        start = stop
 
 
 def _grow_sequence_pairs_kernel(
@@ -378,10 +582,10 @@ def _grow_sequence_pairs_kernel(
     instances_a: list[EventInstance],
     instances_b: list[EventInstance],
     same_event: bool,
-    pattern_cache: dict[tuple[bool, int], TemporalPattern],
+    pattern_cache: dict[tuple[bool, int], tuple[TemporalPattern, tuple]],
     stats: MiningStatistics,
 ) -> None:
-    """Kernel path: classify one sequence's instance pairs in one batch.
+    """Kernel path: classify one sequence's instance pairs in batched chunks.
 
     The enumeration order of the scalar loops is preserved exactly — left
     instances outermost, partner indices ascending (for self pairs: the upper
@@ -391,7 +595,16 @@ def _grow_sequence_pairs_kernel(
     before anything is materialised; the pairs it drops are exactly pairs the
     scalar loop would skip at the ``tmax`` check (their start gap already
     exceeds ``tmax``), so the ``relation_checks`` counter — which only counts
-    pairs *passing* that check — is unaffected.
+    pairs *passing* that check — is unaffected.  Very large batches are
+    processed in anchor-major chunks bounded by
+    ``config.kernel_chunk_bytes`` (:func:`_anchor_chunks`), which caps the
+    peak mask memory on dense ``tmax=None`` workloads without changing any
+    result.
+
+    Surviving pairs are recorded as index rows into the columnar occurrence
+    store: hits are grouped by their (orientation, relation) — at most six
+    distinct 2-event patterns per node, visited in first-hit order — and each
+    group is inserted as one ``(n, 2)`` block, so no per-hit Python runs.
     """
     tmax = config.tmax
     key_a, key_b = node_a.event, node_b.event
@@ -404,78 +617,119 @@ def _grow_sequence_pairs_kernel(
             hi = np.full(n, n, dtype=np.intp)
         else:
             hi = np.searchsorted(starts, starts + tmax, side="right")
-        left, right = expand_windows(lo, hi)
-        if left.size == 0:
-            return
-        first_starts, first_ends = starts[left], ends[left]
-        second_starts, second_ends = starts[right], ends[right]
-        swapped = None
     else:
         starts_a, ends_a = node_a.sequence_arrays(sequence_id)
         starts_b, ends_b = node_b.sequence_arrays(sequence_id)
         lo, hi = candidate_windows(starts_b, starts_a, tmax)
-        left, right = expand_windows(lo, hi)
-        if left.size == 0:
-            return
-        a_starts, a_ends = starts_a[left], ends_a[left]
-        b_starts, b_ends = starts_b[right], ends_b[right]
-        # Chronological ordering per pair (min/max in the instance total
-        # order); keys break full interval ties, and the keys differ.
-        swapped = (b_starts < a_starts) | (
-            (b_starts == a_starts)
-            & ((b_ends < a_ends) | ((b_ends == a_ends) & (key_b < key_a)))
-        )
-        first_starts = np.where(swapped, b_starts, a_starts)
-        first_ends = np.where(swapped, b_ends, a_ends)
-        second_starts = np.where(swapped, a_starts, b_starts)
-        second_ends = np.where(swapped, a_ends, b_ends)
-    if tmax is not None:
-        keep = second_ends - first_starts <= tmax
-        if not keep.all():
-            left, right = left[keep], right[keep]
-            first_starts, first_ends = first_starts[keep], first_ends[keep]
-            second_starts, second_ends = second_starts[keep], second_ends[keep]
-            if swapped is not None:
-                swapped = swapped[keep]
-            if left.size == 0:
-                return
-    codes = classify_pairs(
-        first_starts,
-        first_ends,
-        second_starts,
-        second_ends,
-        config.epsilon,
-        config.min_overlap,
+    budget = config.kernel_chunk_bytes
+    max_pairs = (
+        None if budget is None else max(1, budget // _LEVEL2_BYTES_PER_PAIR)
     )
-    stats.bump(stats.relation_checks, 2, int(codes.size))
+    for anchor_start, anchor_stop in _anchor_chunks(lo, hi, max_pairs):
+        left, right = expand_windows(lo[anchor_start:anchor_stop], hi[anchor_start:anchor_stop])
+        if left.size == 0:
+            continue
+        if anchor_start:
+            left = left + anchor_start
+        if same_event:
+            first_starts, first_ends = starts[left], ends[left]
+            second_starts, second_ends = starts[right], ends[right]
+            swapped = None
+        else:
+            a_starts, a_ends = starts_a[left], ends_a[left]
+            b_starts, b_ends = starts_b[right], ends_b[right]
+            # Chronological ordering per pair (min/max in the instance total
+            # order); keys break full interval ties, and the keys differ.
+            swapped = (b_starts < a_starts) | (
+                (b_starts == a_starts)
+                & ((b_ends < a_ends) | ((b_ends == a_ends) & (key_b < key_a)))
+            )
+            first_starts = np.where(swapped, b_starts, a_starts)
+            first_ends = np.where(swapped, b_ends, a_ends)
+            second_starts = np.where(swapped, a_starts, b_starts)
+            second_ends = np.where(swapped, a_ends, b_ends)
+        if tmax is not None:
+            keep = second_ends - first_starts <= tmax
+            if not keep.all():
+                left, right = left[keep], right[keep]
+                first_starts, first_ends = first_starts[keep], first_ends[keep]
+                second_starts, second_ends = second_starts[keep], second_ends[keep]
+                if swapped is not None:
+                    swapped = swapped[keep]
+                if left.size == 0:
+                    continue
+        codes = classify_pairs(
+            first_starts,
+            first_ends,
+            second_starts,
+            second_ends,
+            config.epsilon,
+            config.min_overlap,
+        )
+        stats.bump(stats.relation_checks, 2, int(codes.size))
+        _insert_pair_hits(
+            node,
+            node_a,
+            node_b,
+            sequence_id,
+            codes,
+            left,
+            right,
+            swapped,
+            pattern_cache,
+        )
+
+
+def _insert_pair_hits(
+    node: CombinationNode,
+    node_a: EventNode,
+    node_b: EventNode,
+    sequence_id: int,
+    codes: np.ndarray,
+    left: np.ndarray,
+    right: np.ndarray,
+    swapped: np.ndarray | None,
+    pattern_cache: dict[tuple[bool, int], tuple[TemporalPattern, tuple]],
+) -> None:
+    """Batched survivor insertion for one level-2 kernel chunk.
+
+    Hits are grouped by ``orientation * 3 + code`` (at most six groups),
+    visited in order of each group's first hit so the pattern-dict insertion
+    order matches the scalar loop, and every group lands in the store as one
+    ``(n, 2)`` index block."""
     hits = np.nonzero(codes >= 0)[0]
     if hits.size == 0:
         return
-    hit_codes = codes[hits].tolist()
-    hit_left = left[hits].tolist()
-    hit_right = right[hits].tolist()
+    key_a, key_b = node_a.event, node_b.event
+    hit_codes = codes[hits].astype(np.intp)
+    hit_left = left[hits]
+    hit_right = right[hits]
     if swapped is None:
-        for index_a, index_b, code in zip(hit_left, hit_right, hit_codes):
-            pattern = _cached_pair_pattern(pattern_cache, key_a, key_a, False, code)
-            node.add_pattern_occurrence(
-                pattern,
-                sequence_id,
-                (instances_a[index_a], instances_a[index_b]),
-            )
+        group_keys = hit_codes
     else:
-        hit_swapped = swapped[hits].tolist()
-        for index_a, index_b, code, swap in zip(
-            hit_left, hit_right, hit_codes, hit_swapped
-        ):
-            if swap:
-                first = instances_b[index_b]
-                second = instances_a[index_a]
-                pattern = _cached_pair_pattern(pattern_cache, key_b, key_a, True, code)
-            else:
-                first = instances_a[index_a]
-                second = instances_b[index_b]
-                pattern = _cached_pair_pattern(pattern_cache, key_a, key_b, False, code)
-            node.add_pattern_occurrence(pattern, sequence_id, (first, second))
+        group_keys = hit_codes + 3 * swapped[hits]
+    unique_keys, first_positions = np.unique(group_keys, return_index=True)
+    for group_key in unique_keys[np.argsort(first_positions)].tolist():
+        mask = group_keys == group_key
+        code = group_key % 3
+        lefts = hit_left[mask]
+        rights = hit_right[mask]
+        if swapped is None:
+            pattern, sources = _cached_pair_pattern(
+                pattern_cache, key_a, key_a, node_a, node_a, False, code
+            )
+            block = np.column_stack((lefts, rights))
+        elif group_key >= 3:
+            pattern, sources = _cached_pair_pattern(
+                pattern_cache, key_b, key_a, node_b, node_a, True, code
+            )
+            block = np.column_stack((rights, lefts))
+        else:
+            pattern, sources = _cached_pair_pattern(
+                pattern_cache, key_a, key_b, node_a, node_b, False, code
+            )
+            block = np.column_stack((lefts, rights))
+        node.add_pattern_occurrences(pattern, sequence_id, block, sources)
 
 
 def _evaluate_combination(
@@ -565,14 +819,17 @@ def _extend_entry(
     counters.
     """
     vectorized = context.config.vectorized
+    min_pairs = effective_kernel_min_pairs(context.config) if vectorized else 0
     kernel_state: _ExtensionKernelState | None = None
-    for sequence_id, occurrences in entry.occurrences.items():
+    entry.bind_sources(context.level1)
+    extended_sources = entry.sources + (new_event_node.instances_by_sequence,)
+    for sequence_id, index_matrix in entry.iter_index_matrices():
         new_instances = new_event_node.instances_by_sequence.get(sequence_id)
         if not new_instances:
             continue
         if (
             vectorized
-            and len(occurrences) * len(new_instances) >= _KERNEL_MIN_PAIRS
+            and index_matrix.shape[0] * len(new_instances) >= min_pairs
         ):
             if kernel_state is None:
                 kernel_state = _ExtensionKernelState(
@@ -584,14 +841,22 @@ def _extend_entry(
                 entry,
                 new_event_node,
                 sequence_id,
-                occurrences,
+                index_matrix,
                 new_instances,
+                extended_sources,
                 kernel_state,
                 stats,
             )
         else:
             _extend_sequence_scalar(
-                context, node, entry, sequence_id, occurrences, new_instances, stats
+                context,
+                node,
+                entry,
+                sequence_id,
+                index_matrix,
+                new_instances,
+                extended_sources,
+                stats,
             )
 
 
@@ -600,17 +865,24 @@ def _extend_sequence_scalar(
     node: CombinationNode,
     entry: PatternEntry,
     sequence_id: int,
-    occurrences: list[Occurrence],
+    index_matrix: np.ndarray,
     new_instances: list[EventInstance],
+    extended_sources: tuple,
     stats: MiningStatistics,
 ) -> None:
-    """Scalar reference path: per-occurrence, per-candidate relation checks."""
+    """Scalar reference path: per-occurrence, per-candidate relation checks.
+
+    Occurrence instance tuples are materialised from the entry's index rows
+    (one list-index per pattern event) and every surviving extension is
+    recorded back as the parent row plus the candidate's list position."""
     config = context.config
     pattern = entry.pattern
-    for occurrence in occurrences:
+    for row, occurrence in zip(
+        entry.index_rows(sequence_id), entry.materialise(sequence_id)
+    ):
         last_instance = occurrence[-1]
         first_instance = occurrence[0]
-        for candidate_instance in new_instances:
+        for candidate_index, candidate_instance in enumerate(new_instances):
             if candidate_instance <= last_instance:
                 continue
             if (
@@ -625,7 +897,10 @@ def _extend_sequence_scalar(
                 continue
             new_pattern = pattern.extend(candidate_instance.event_key, extension)
             node.add_pattern_occurrence(
-                new_pattern, sequence_id, occurrence + (candidate_instance,)
+                new_pattern,
+                sequence_id,
+                (*row, candidate_index),
+                extended_sources,
             )
 
 
@@ -682,15 +957,20 @@ class _ExtensionKernelState:
       every occurrence of the entry.
     * ``extended_cache`` — extended patterns by relation-code row, so equal
       extensions reuse one :class:`TemporalPattern` object.
+    * ``parent_nodes`` — the level-1 node of every pattern event, whose
+      cached columnar start/end arrays the gather-built endpoint blocks read.
     """
 
-    __slots__ = ("allowed", "key_after_last", "extended_cache")
+    __slots__ = ("allowed", "key_after_last", "extended_cache", "parent_nodes")
 
     def __init__(
         self, context: LevelContext, pattern: TemporalPattern, new_key: EventKey
     ) -> None:
         self.key_after_last = new_key > pattern.events[-1]
         self.extended_cache: dict[bytes, TemporalPattern] = {}
+        self.parent_nodes = tuple(
+            context.level1[event] for event in pattern.events
+        )
         if not context.config.pruning.uses_transitivity:
             self.allowed = None
             return
@@ -714,18 +994,26 @@ def _extend_sequence_kernel(
     entry: PatternEntry,
     new_event_node: EventNode,
     sequence_id: int,
-    occurrences: list[Occurrence],
+    index_matrix: np.ndarray,
     new_instances: list[EventInstance],
+    extended_sources: tuple,
     state: _ExtensionKernelState,
     stats: MiningStatistics,
 ) -> None:
     """Kernel path: one batched call per (occurrence block × instance block).
 
-    The occurrence endpoints form a ``(n_occurrences, k-1)`` columnar block
-    and the new event's instances a cached column; the
-    chronological-successor and ``tmax`` gates become boolean masks, and a
-    single :func:`classify_pairs` call classifies every remaining
-    (occurrence instance, new instance) pair at once.
+    The occurrence endpoint blocks — ``(n_occurrences, k-1)`` start/end
+    matrices — are *gathered* from the pattern events' cached columnar
+    per-sequence arrays through the entry's index matrix
+    (``starts[index_matrix[:, j]]``), replacing the historical per-call
+    Python list comprehensions over instance objects; the new event's
+    instances are a cached column.  The chronological-successor and ``tmax``
+    gates become boolean masks, and a single :func:`classify_pairs` call
+    classifies every remaining (occurrence instance, new instance) pair at
+    once.  When the ``(n_occurrences × n_candidates)`` feasibility mask would
+    exceed ``config.kernel_chunk_bytes``, the occurrence rows are processed
+    in order-preserving chunks, bounding peak mask memory on dense
+    ``tmax=None`` workloads.
 
     The scalar reference loop early-exits per pair — it stops classifying an
     extension at its first failing position, counting one ``relation_checks``
@@ -734,8 +1022,12 @@ def _extend_sequence_kernel(
     transitivity membership test.  The kernel classifies all positions and
     then *reconstructs* those counters from the first failing position of
     each row, so the statistics stay byte-identical to the scalar path.
-    Object tuples are only touched again for surviving rows, fetched by index
-    from the filtered survivors.
+
+    Survivors never touch instance objects at all: rows are grouped by their
+    relation-code row (one group per distinct extended pattern, visited in
+    first-hit order) and each group joins the store as one batched
+    ``(n, k)`` block — the parent rows gathered from the index matrix with
+    the candidate position appended.
     """
     config = context.config
     level = context.level
@@ -744,80 +1036,113 @@ def _extend_sequence_kernel(
     new_key = new_event_node.event
     tmax = config.tmax
     candidate_starts, candidate_ends = new_event_node.sequence_arrays(sequence_id)
-    occurrence_starts = np.array(
-        [[instance.start for instance in occurrence] for occurrence in occurrences],
-        dtype=np.float64,
+    n_candidates = candidate_starts.shape[0]
+    budget = config.kernel_chunk_bytes
+    # Per (occurrence, candidate) cell the chunk pays the feasibility-mask
+    # byte, the selection indices, and — for pairs surviving selection — the
+    # gathered float64 endpoint copies plus relation masks/codes across all
+    # k-1 positions, so the divisor scales with the pattern size.
+    cell_bytes = 16 + 28 * n_events
+    chunk_rows = (
+        index_matrix.shape[0]
+        if budget is None
+        else max(1, budget // max(1, n_candidates * cell_bytes))
     )
-    occurrence_ends = np.array(
-        [[instance.end for instance in occurrence] for occurrence in occurrences],
-        dtype=np.float64,
-    )
-    last_starts = occurrence_starts[:, -1:]
-    last_ends = occurrence_ends[:, -1:]
-    feasible = (candidate_starts > last_starts) | (
-        (candidate_starts == last_starts)
-        & (
-            (candidate_ends > last_ends)
-            | ((candidate_ends == last_ends) & state.key_after_last)
-        )
-    )
-    if tmax is not None:
-        feasible &= candidate_ends - occurrence_starts[:, :1] <= tmax
-    occurrence_index, candidate_index = np.nonzero(feasible)
-    if occurrence_index.size == 0:
-        return
-    codes = classify_pairs(
-        occurrence_starts[occurrence_index],
-        occurrence_ends[occurrence_index],
-        candidate_starts[candidate_index, None],
-        candidate_ends[candidate_index, None],
-        config.epsilon,
-        config.min_overlap,
-    )
-    failed = codes < 0
-    transitivity_failed = None
-    if state.allowed is not None:
-        classified = ~failed
-        transitivity_failed = np.zeros_like(failed)
-        transitivity_failed[classified] = ~state.allowed[
-            np.nonzero(classified)[1], codes[classified]
-        ]
-        failed |= transitivity_failed
-    any_failed = failed.any(axis=1)
-    first_failed = failed.argmax(axis=1)
-    # The scalar loop performs first_failed + 1 classifications for a failing
-    # row and n_events for a surviving one.
-    stats.bump(
-        stats.relation_checks,
-        level,
-        int(np.where(any_failed, first_failed + 1, n_events).sum()),
-    )
-    if transitivity_failed is not None:
-        failed_rows = np.nonzero(any_failed)[0]
-        stats.bump(
-            stats.pruned_relation_checks,
-            level,
-            int(transitivity_failed[failed_rows, first_failed[failed_rows]].sum()),
-        )
-    surviving_rows = np.nonzero(~any_failed)[0]
-    if surviving_rows.size == 0:
-        return
+    parent_nodes = state.parent_nodes
+    parent_columns = [
+        parent_node.sequence_arrays(sequence_id) for parent_node in parent_nodes
+    ]
     extended_cache = state.extended_cache
-    for row in surviving_rows.tolist():
-        occurrence = occurrences[occurrence_index[row]]
-        candidate_instance = new_instances[candidate_index[row]]
-        row_codes = codes[row]
-        cache_key = row_codes.tobytes()
-        new_pattern = extended_cache.get(cache_key)
-        if new_pattern is None:
-            new_pattern = pattern.extend(
-                new_key,
-                tuple(RELATIONS_BY_CODE[code] for code in row_codes.tolist()),
+    for chunk_start in range(0, index_matrix.shape[0], chunk_rows):
+        idx = index_matrix[chunk_start : chunk_start + chunk_rows]
+        occurrence_starts = np.empty((idx.shape[0], n_events), dtype=np.float64)
+        occurrence_ends = np.empty_like(occurrence_starts)
+        for position, (starts, ends) in enumerate(parent_columns):
+            column = idx[:, position]
+            occurrence_starts[:, position] = starts[column]
+            occurrence_ends[:, position] = ends[column]
+        last_starts = occurrence_starts[:, -1:]
+        last_ends = occurrence_ends[:, -1:]
+        feasible = (candidate_starts > last_starts) | (
+            (candidate_starts == last_starts)
+            & (
+                (candidate_ends > last_ends)
+                | ((candidate_ends == last_ends) & state.key_after_last)
             )
-            extended_cache[cache_key] = new_pattern
-        node.add_pattern_occurrence(
-            new_pattern, sequence_id, occurrence + (candidate_instance,)
         )
+        if tmax is not None:
+            feasible &= candidate_ends - occurrence_starts[:, :1] <= tmax
+        occurrence_index, candidate_index = np.nonzero(feasible)
+        if occurrence_index.size == 0:
+            continue
+        codes = classify_pairs(
+            occurrence_starts[occurrence_index],
+            occurrence_ends[occurrence_index],
+            candidate_starts[candidate_index, None],
+            candidate_ends[candidate_index, None],
+            config.epsilon,
+            config.min_overlap,
+        )
+        failed = codes < 0
+        transitivity_failed = None
+        if state.allowed is not None:
+            classified = ~failed
+            transitivity_failed = np.zeros_like(failed)
+            transitivity_failed[classified] = ~state.allowed[
+                np.nonzero(classified)[1], codes[classified]
+            ]
+            failed |= transitivity_failed
+        any_failed = failed.any(axis=1)
+        first_failed = failed.argmax(axis=1)
+        # The scalar loop performs first_failed + 1 classifications for a
+        # failing row and n_events for a surviving one.
+        stats.bump(
+            stats.relation_checks,
+            level,
+            int(np.where(any_failed, first_failed + 1, n_events).sum()),
+        )
+        if transitivity_failed is not None:
+            failed_rows = np.nonzero(any_failed)[0]
+            stats.bump(
+                stats.pruned_relation_checks,
+                level,
+                int(transitivity_failed[failed_rows, first_failed[failed_rows]].sum()),
+            )
+        surviving_rows = np.nonzero(~any_failed)[0]
+        if surviving_rows.size == 0:
+            continue
+        surviving_codes = codes[surviving_rows]
+        surviving_occurrences = occurrence_index[surviving_rows]
+        surviving_candidates = candidate_index[surviving_rows]
+        unique_rows, inverse = np.unique(
+            surviving_codes, axis=0, return_inverse=True
+        )
+        inverse = inverse.reshape(-1)
+        if len(unique_rows) == 1:
+            group_order = [0]
+        else:
+            # np.unique sorts lexicographically; recover first-hit order so
+            # the pattern-dict insertion order matches the scalar loop.
+            first_hit = np.full(len(unique_rows), len(inverse), dtype=np.intp)
+            np.minimum.at(first_hit, inverse, np.arange(len(inverse)))
+            group_order = np.argsort(first_hit).tolist()
+        for group in group_order:
+            row_codes = unique_rows[group]
+            cache_key = row_codes.tobytes()
+            new_pattern = extended_cache.get(cache_key)
+            if new_pattern is None:
+                new_pattern = pattern.extend(
+                    new_key,
+                    tuple(RELATIONS_BY_CODE[code] for code in row_codes.tolist()),
+                )
+                extended_cache[cache_key] = new_pattern
+            member = inverse == group
+            block = np.column_stack(
+                (idx[surviving_occurrences[member]], surviving_candidates[member])
+            )
+            node.add_pattern_occurrences(
+                new_pattern, sequence_id, block, extended_sources
+            )
 
 
 def _finalise_node(

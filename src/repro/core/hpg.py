@@ -6,10 +6,22 @@ holds one node per frequent *combination* of ``k`` events, and each node stores
 the frequent ``k``-event patterns found for that combination together with the
 sequences and instance assignments supporting them.  Mining level ``k+1`` only
 reads levels ``k`` and ``1``, which is what makes the level-wise pruning work.
+
+Occurrence evidence is stored *columnar*: a :class:`PatternEntry` keeps, per
+supporting sequence, an ``int32`` index matrix of shape
+``(n_occurrences, k)`` whose column ``j`` indexes into the instance list of
+``pattern.events[j]`` in that sequence.  The index representation is what
+makes the level-``k`` hot loop vectorizable (endpoint blocks are gathered
+from the event nodes' cached columnar start/end arrays instead of rebuilt
+from instance objects per call), pickles far smaller and faster than
+object-tuple lists (the matrices are the entire per-entry worker payload),
+and still materialises the historical instance-tuple view lazily through
+:attr:`PatternEntry.occurrences`, so downstream consumers are unchanged.
 """
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -19,44 +31,140 @@ from .bitmap import Bitmap
 from .events import EventKey
 from .patterns import TemporalPattern
 
-__all__ = ["Occurrence", "PatternEntry", "EventNode", "CombinationNode", "HierarchicalPatternGraph"]
+__all__ = [
+    "Occurrence",
+    "IndexRow",
+    "InstanceSources",
+    "PatternEntry",
+    "EventNode",
+    "CombinationNode",
+    "HierarchicalPatternGraph",
+]
 
 #: One supporting assignment: one instance per pattern event, in pattern order.
 Occurrence = tuple[EventInstance, ...]
 
+#: One supporting assignment in index form: for pattern event ``j``, the
+#: position of its supporting instance inside that event's (chronologically
+#: sorted) instance list of the sequence.
+IndexRow = tuple[int, ...]
 
-@dataclass
+#: Where an entry's index rows point: per pattern event (chronological
+#: pattern order), the event node's ``instances_by_sequence`` dict.
+InstanceSources = tuple[Mapping[int, list[EventInstance]], ...]
+
+
+def _consolidate_blocks(value: object, width: int) -> np.ndarray:
+    """One ``(n, width)`` int32 matrix out of a mixed row/block build list."""
+    if isinstance(value, np.ndarray):
+        return value
+    blocks: list[np.ndarray] = []
+    pending: list[IndexRow] = []
+    for item in value:
+        if isinstance(item, np.ndarray):
+            if pending:
+                blocks.append(np.asarray(pending, dtype=np.int32))
+                pending = []
+            blocks.append(item)
+        else:
+            pending.append(item)
+    if pending:
+        blocks.append(np.asarray(pending, dtype=np.int32))
+    if not blocks:
+        return np.empty((0, width), dtype=np.int32)
+    if len(blocks) == 1:
+        return blocks[0]
+    return np.concatenate(blocks, axis=0)
+
+
+def _block_rows(value: object) -> int:
+    """Row count of a (possibly unconsolidated) per-sequence store value."""
+    if isinstance(value, np.ndarray):
+        return value.shape[0]
+    return sum(
+        item.shape[0] if isinstance(item, np.ndarray) else 1 for item in value
+    )
+
+
 class PatternEntry:
     """A pattern together with the evidence supporting it.
 
-    ``occurrences`` maps a sequence id to the instance assignments found in that
-    sequence; the set of keys is the support set of the pattern (Def. 3.14).
-    The assignments are retained because level ``k+1`` extends them with
-    instances of the new event.
+    The evidence is a *columnar occurrence store*: per supporting sequence, an
+    ``int32`` index matrix of shape ``(n_occurrences, k)`` whose column ``j``
+    holds, for every supporting assignment, the position of the instance of
+    ``pattern.events[j]`` inside that event's chronologically sorted instance
+    list of the sequence.  The set of stored sequence ids is the support set
+    of the pattern (Def. 3.14); the matrices are retained because level
+    ``k+1`` extends every stored assignment with instances of the new event.
 
-    An entry can be *summarised* (:meth:`summarise`): the instance assignments
-    are replaced by per-sequence occurrence counts.  Parallel workers do this
-    at the final mining level — whose occurrences are never extended again —
-    so only pattern identities, supports and counts cross the process
-    boundary.  Support and sequence ids stay available either way.
+    Rows arrive either one at a time (:meth:`add_index_row`, the scalar
+    reference path) or as whole ``(n, k)`` blocks (:meth:`add_index_block`,
+    one batched row-stack per kernel batch); both build the identical
+    consolidated matrix, which :meth:`index_matrix` materialises (and caches)
+    on demand.
+
+    The index rows are resolved against *sources* — per pattern event, the
+    owning :class:`EventNode`'s ``instances_by_sequence`` dict.  Sources are
+    derived, process-local state: they are dropped when the entry is pickled
+    (the matrices alone cross process and file boundaries) and re-attached
+    via :meth:`bind_sources` by whoever owns the level-1 nodes on the other
+    side.  The historical instance-tuple view is materialised lazily through
+    :attr:`occurrences` / :meth:`materialise`, so the public surface consumed
+    by ``analysis/``, ``io/`` and the examples is unchanged.
+
+    An entry can be *summarised* (:meth:`summarise`): the index matrices are
+    replaced by per-sequence occurrence counts.  Parallel workers do this at
+    the final mining level — whose occurrences are never extended again — so
+    only pattern identities, supports and counts cross the process boundary.
+    Support and sequence ids stay available either way.
     """
 
-    pattern: TemporalPattern
-    occurrences: dict[int, list[Occurrence]] = field(default_factory=dict)
-    #: Per-sequence occurrence counts of a summarised entry (``None`` while
-    #: the full assignments are retained).
-    occurrence_counts: dict[int, int] | None = None
+    __slots__ = (
+        "pattern",
+        "occurrence_counts",
+        "_store",
+        "_sources",
+        "_row_cache",
+        "_view_cache",
+        "_legacy_occurrences",
+    )
 
+    def __init__(
+        self,
+        pattern: TemporalPattern,
+        sources: InstanceSources | None = None,
+        occurrence_counts: dict[int, int] | None = None,
+    ) -> None:
+        self.pattern = pattern
+        #: Per-sequence occurrence counts of a summarised entry (``None``
+        #: while the full index matrices are retained).
+        self.occurrence_counts = occurrence_counts
+        # Per-sequence build state: a list of pending rows/blocks while the
+        # entry is being grown, consolidated to one int32 matrix on access.
+        self._store: dict[int, object] = {}
+        self._sources = sources
+        # Derived, process-local read caches (row tuples / instance tuples),
+        # invalidated per sequence on insert and dropped from pickles: the
+        # scalar reference path re-reads each parent entry once per extension
+        # candidate, and rebuilding the views every read would pay the old
+        # tuple-store construction cost over and over.
+        self._row_cache: dict[int, list[IndexRow]] = {}
+        self._view_cache: dict[int, list[Occurrence]] = {}
+        # Instance-tuple payload of a version-2 session file, held until
+        # session_io migrates it to index matrices (see convert_legacy).
+        self._legacy_occurrences: dict[int, list[Occurrence]] | None = None
+
+    # ------------------------------------------------------------------ measures
     @property
     def support(self) -> int:
         """Number of sequences supporting the pattern."""
         if self.occurrence_counts is not None:
             return len(self.occurrence_counts)
-        return len(self.occurrences)
+        return len(self._store)
 
     @property
     def is_summary(self) -> bool:
-        """True when the instance assignments were reduced to counts."""
+        """True when the index matrices were reduced to counts."""
         return self.occurrence_counts is not None
 
     @property
@@ -64,30 +172,269 @@ class PatternEntry:
         """Total number of supporting assignments across all sequences."""
         if self.occurrence_counts is not None:
             return sum(self.occurrence_counts.values())
-        return sum(len(assignments) for assignments in self.occurrences.values())
+        return sum(_block_rows(value) for value in self._store.values())
 
-    def add_occurrence(self, sequence_id: int, occurrence: Occurrence) -> None:
-        """Record one supporting assignment observed in ``sequence_id``."""
+    def occurrence_counts_by_sequence(self) -> dict[int, int]:
+        """Per-sequence occurrence counts, summarised or not (no materialising)."""
         if self.occurrence_counts is not None:
-            raise ValueError(
-                "cannot add occurrences to a summarised PatternEntry"
-            )
-        self.occurrences.setdefault(sequence_id, []).append(occurrence)
-
-    def summarise(self) -> None:
-        """Replace the instance assignments with per-sequence counts; idempotent."""
-        if self.occurrence_counts is None:
-            self.occurrence_counts = {
-                sequence_id: len(assignments)
-                for sequence_id, assignments in self.occurrences.items()
-            }
-            self.occurrences = {}
+            return dict(self.occurrence_counts)
+        return {
+            sequence_id: _block_rows(value)
+            for sequence_id, value in self._store.items()
+        }
 
     def sequence_ids(self) -> set[int]:
         """Ids of the supporting sequences."""
         if self.occurrence_counts is not None:
             return set(self.occurrence_counts)
-        return set(self.occurrences)
+        return set(self._store)
+
+    # ------------------------------------------------------------------ building
+    def add_index_row(self, sequence_id: int, row: IndexRow) -> None:
+        """Record one supporting assignment (per-hit scalar path)."""
+        if self.occurrence_counts is not None:
+            raise ValueError("cannot add occurrences to a summarised PatternEntry")
+        if self._row_cache or self._view_cache:
+            self._row_cache.pop(sequence_id, None)
+            self._view_cache.pop(sequence_id, None)
+        value = self._store.get(sequence_id)
+        if value is None:
+            self._store[sequence_id] = [row]
+        elif isinstance(value, list):
+            value.append(row)
+        else:  # appending after consolidation: reopen as a build list
+            self._store[sequence_id] = [value, row]
+
+    def add_index_block(self, sequence_id: int, block: np.ndarray) -> None:
+        """Record a whole ``(n, k)`` block of assignments (batched kernel path)."""
+        if self.occurrence_counts is not None:
+            raise ValueError("cannot add occurrences to a summarised PatternEntry")
+        if self._row_cache or self._view_cache:
+            self._row_cache.pop(sequence_id, None)
+            self._view_cache.pop(sequence_id, None)
+        block = np.ascontiguousarray(block, dtype=np.int32)
+        value = self._store.get(sequence_id)
+        if value is None:
+            self._store[sequence_id] = block
+        elif isinstance(value, list):
+            value.append(block)
+        else:
+            self._store[sequence_id] = [value, block]
+
+    def index_matrix(self, sequence_id: int) -> np.ndarray:
+        """The consolidated ``(n_occurrences, k)`` int32 matrix of one sequence."""
+        value = self._store[sequence_id]
+        if not isinstance(value, np.ndarray):
+            value = _consolidate_blocks(value, len(self.pattern.events))
+            self._store[sequence_id] = value
+        return value
+
+    def iter_index_matrices(self):
+        """Yield ``(sequence_id, index_matrix)`` in insertion order."""
+        for sequence_id in self._store:
+            yield sequence_id, self.index_matrix(sequence_id)
+
+    def index_rows(self, sequence_id: int) -> list[IndexRow]:
+        """One sequence's index rows as int tuples (cached derived view)."""
+        rows = self._row_cache.get(sequence_id)
+        if rows is None:
+            rows = [tuple(row) for row in self.index_matrix(sequence_id).tolist()]
+            self._row_cache[sequence_id] = rows
+        return rows
+
+    def summarise(self) -> None:
+        """Replace the index matrices with per-sequence counts; idempotent."""
+        if self.occurrence_counts is None:
+            self.occurrence_counts = {
+                sequence_id: _block_rows(value)
+                for sequence_id, value in self._store.items()
+            }
+            self._store = {}
+            self._sources = None
+            self._row_cache = {}
+            self._view_cache = {}
+
+    # ------------------------------------------------------------------ sources
+    @property
+    def sources(self) -> InstanceSources:
+        """The bound instance sources (raises until :meth:`bind_sources` ran)."""
+        sources = self._sources
+        if sources is None:
+            raise ValueError(
+                f"PatternEntry for {self.pattern!r} has no bound instance "
+                "sources; call bind_sources(level1) first"
+            )
+        return sources
+
+    @property
+    def is_bound(self) -> bool:
+        """True when index rows can be resolved to instance objects."""
+        return self._sources is not None
+
+    def bind_sources(self, level1: Mapping[EventKey, "EventNode"]) -> None:
+        """Attach the level-1 instance lists the index rows point into.
+
+        No-op when already bound.  Called at entry creation (in-process), by
+        the coordinator when worker-returned nodes join the graph, and by
+        :mod:`repro.io.session_io` after loading a session file — the three
+        places where an entry (re-)enters a process.
+        """
+        if self._sources is None:
+            self._sources = tuple(
+                level1[event].instances_by_sequence for event in self.pattern.events
+            )
+
+    # ------------------------------------------------------------------ materialisation
+    def materialise(self, sequence_id: int) -> list[Occurrence]:
+        """The instance-tuple view of one sequence's supporting assignments
+        (cached derived view, like :meth:`index_rows`)."""
+        view = self._view_cache.get(sequence_id)
+        if view is None:
+            lists = [source[sequence_id] for source in self.sources]
+            view = [
+                tuple(lists[position][index] for position, index in enumerate(row))
+                for row in self.index_matrix(sequence_id).tolist()
+            ]
+            self._view_cache[sequence_id] = view
+        return view
+
+    @property
+    def occurrences(self) -> dict[int, list[Occurrence]]:
+        """Lazy instance-tuple view of the store (empty once summarised).
+
+        Materialised fresh on access from the index matrices and the bound
+        sources; mutating the returned structure does not affect the entry.
+        """
+        if not self._store:
+            return {}
+        return {
+            sequence_id: list(self.materialise(sequence_id))
+            for sequence_id in self._store
+        }
+
+    # ------------------------------------------------------------------ validation & legacy migration
+    def validate_indices(self) -> None:
+        """Check every index row resolves inside its bound instance list.
+
+        Untrusted stores (session files) can carry negative or out-of-range
+        indices that would otherwise materialise the *wrong* instance (Python
+        negative indexing) or blow up far from the load site; one vectorized
+        range check per (entry, sequence) turns that into a clean error.
+        Raises :class:`ValueError`; requires bound sources.
+        """
+        if not self._store:
+            return
+        sources = self.sources
+        for sequence_id, matrix in self.iter_index_matrices():
+            lengths = np.fromiter(
+                (len(source[sequence_id]) for source in sources),
+                dtype=np.intp,
+                count=len(sources),
+            )
+            if matrix.size and ((matrix < 0).any() or (matrix >= lengths).any()):
+                raise ValueError(
+                    f"index matrix of {self.pattern!r} in sequence "
+                    f"{sequence_id} points outside the instance lists"
+                )
+
+    def convert_legacy(
+        self,
+        level1: Mapping[EventKey, "EventNode"],
+        index_cache: dict | None = None,
+    ) -> None:
+        """Convert a version-2 instance-tuple payload into index matrices.
+
+        Instance objects are resolved to their positions inside the event's
+        chronologically sorted per-sequence list; exact duplicates cannot
+        occur there (:class:`~repro.timeseries.sequences.TemporalSequence`
+        collapses them), so the resolution is unambiguous.  ``index_cache``
+        (keyed by ``(event, sequence_id)``) shares the instance→position
+        maps across the many entries of one graph that reference the same
+        event — without it a large migration would rebuild identical maps
+        per entry.
+        """
+        legacy = self._legacy_occurrences
+        if legacy is None:
+            return
+        self._legacy_occurrences = None
+        if self.occurrence_counts is not None:
+            return  # summarised in v2: counts carry over, nothing to convert
+        events = self.pattern.events
+        nodes = [level1[event] for event in events]
+        for sequence_id, assignments in legacy.items():
+            rows = np.empty((len(assignments), len(events)), dtype=np.int32)
+            for position, (event, node) in enumerate(zip(events, nodes)):
+                cache_key = (event, sequence_id)
+                index_of = None if index_cache is None else index_cache.get(cache_key)
+                if index_of is None:
+                    index_of = {
+                        instance: index
+                        for index, instance in enumerate(
+                            node.instances_by_sequence[sequence_id]
+                        )
+                    }
+                    if index_cache is not None:
+                        index_cache[cache_key] = index_of
+                for row, occurrence in enumerate(assignments):
+                    rows[row, position] = index_of[occurrence[position]]
+            self._store[sequence_id] = rows
+
+    # ------------------------------------------------------------------ pickling
+    def __getstate__(self) -> dict:
+        """Pickle the consolidated matrices only — sources are process-local."""
+        if self._legacy_occurrences is not None:
+            # Unconverted v2 payload: re-emit the legacy wire shape faithfully.
+            return {
+                "pattern": self.pattern,
+                "occurrences": self._legacy_occurrences,
+                "occurrence_counts": self.occurrence_counts,
+            }
+        return {
+            "pattern": self.pattern,
+            "index": {
+                sequence_id: self.index_matrix(sequence_id)
+                for sequence_id in self._store
+            },
+            "counts": self.occurrence_counts,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.pattern = state["pattern"]
+        self._sources = None
+        self._row_cache = {}
+        self._view_cache = {}
+        self._legacy_occurrences = None
+        if "index" in state:
+            self._store = dict(state["index"])
+            self.occurrence_counts = state["counts"]
+        else:
+            # Version-2 wire shape (instance-tuple lists): hold the payload
+            # until session_io resolves it against the loaded level-1 nodes.
+            self._store = {}
+            self._legacy_occurrences = state["occurrences"]
+            self.occurrence_counts = state["occurrence_counts"]
+
+    # ------------------------------------------------------------------ dunder
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PatternEntry):
+            return NotImplemented
+        if (
+            self.pattern != other.pattern
+            or self.occurrence_counts != other.occurrence_counts
+        ):
+            return False
+        if self._store.keys() != other._store.keys():
+            return False
+        return all(
+            np.array_equal(self.index_matrix(sid), other.index_matrix(sid))
+            for sid in self._store
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"PatternEntry(pattern={self.pattern!r}, support={self.support}, "
+            f"n_occurrences={self.n_occurrences}, is_summary={self.is_summary})"
+        )
 
 
 @dataclass
@@ -219,14 +566,41 @@ class CombinationNode:
         return self.bitmap.count()
 
     def add_pattern_occurrence(
-        self, pattern: TemporalPattern, sequence_id: int, occurrence: Occurrence
+        self,
+        pattern: TemporalPattern,
+        sequence_id: int,
+        row: IndexRow,
+        sources: InstanceSources,
     ) -> None:
-        """Record a supporting assignment for ``pattern`` in this node."""
+        """Record one supporting assignment for ``pattern`` (index form).
+
+        ``row[j]`` is the position of the supporting instance of
+        ``pattern.events[j]`` inside ``sources[j][sequence_id]``; ``sources``
+        seeds the entry's instance binding when the pattern is first seen.
+        """
         entry = self.patterns.get(pattern)
         if entry is None:
-            entry = PatternEntry(pattern=pattern)
+            entry = PatternEntry(pattern=pattern, sources=sources)
             self.patterns[pattern] = entry
-        entry.add_occurrence(sequence_id, occurrence)
+        entry.add_index_row(sequence_id, row)
+
+    def add_pattern_occurrences(
+        self,
+        pattern: TemporalPattern,
+        sequence_id: int,
+        block: np.ndarray,
+        sources: InstanceSources,
+    ) -> None:
+        """Record a whole ``(n, k)`` block of assignments in one batched insert.
+
+        The batch counterpart of :meth:`add_pattern_occurrence`: one call per
+        (entry, sequence) kernel batch instead of one per hit, which is what
+        keeps the vectorized survivor loop out of per-hit Python."""
+        entry = self.patterns.get(pattern)
+        if entry is None:
+            entry = PatternEntry(pattern=pattern, sources=sources)
+            self.patterns[pattern] = entry
+        entry.add_index_block(sequence_id, block)
 
     def prune_patterns(self, keep: set[TemporalPattern]) -> None:
         """Drop every stored pattern not in ``keep`` (infrequent / low confidence)."""

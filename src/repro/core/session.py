@@ -58,12 +58,12 @@ from ..timeseries.sequences import SequenceDatabase, TemporalSequence
 from .bitmap import Bitmap
 from .config import MiningConfig
 from .engine import (
-    _KERNEL_MIN_PAIRS,
     Candidate,
     ExecutionBackend,
     LevelContext,
     apriori_pair_prune,
     backend_from_config,
+    effective_kernel_min_pairs,
 )
 from .events import EventKey, TemporalEvent, collect_events
 from .hpg import (
@@ -96,15 +96,18 @@ def _restrict_level1(
     return {event: graph.level1[event] for event in graph.level1 if event in needed}
 
 
-def _prebuild_columnar_views(node: EventNode, sequence_ids=None) -> None:
+def _prebuild_columnar_views(
+    node: EventNode, min_pairs: int, sequence_ids=None
+) -> None:
     """Eagerly build a frequent event's columnar start/end arrays.
 
     Only instance lists long enough that a pairing could plausibly reach the
-    kernel routing threshold (``len² >= _KERNEL_MIN_PAIRS``) are built here —
-    sparse lists would pay the array-construction cost without the kernel
-    ever reading it.  A short list paired against a very dense partner can
-    still reach the kernel; :meth:`EventNode.sequence_arrays` then builds its
-    arrays lazily, once, on first use.
+    kernel routing threshold (``len² >= min_pairs``, the effective — possibly
+    calibrated — crossover) are built here — sparse lists would pay the
+    array-construction cost without the kernel ever reading it.  A short
+    list paired against a very dense partner can still reach the kernel;
+    :meth:`EventNode.sequence_arrays` then builds its arrays lazily, once,
+    on first use.
     """
     by_sequence = node.instances_by_sequence
     if sequence_ids is None:
@@ -112,7 +115,7 @@ def _prebuild_columnar_views(node: EventNode, sequence_ids=None) -> None:
     node.build_sequence_arrays(
         sequence_id
         for sequence_id in sequence_ids
-        if len(by_sequence[sequence_id]) ** 2 >= _KERNEL_MIN_PAIRS
+        if len(by_sequence[sequence_id]) ** 2 >= min_pairs
     )
 
 
@@ -208,14 +211,11 @@ def _estimate_combination_costs(
     for parent_key, parent in parents.items():
         counts: dict[int, int] = {}
         for entry in parent.patterns.values():
-            if entry.is_summary:
-                per_sequence = entry.occurrence_counts.items()
-            else:
-                per_sequence = (
-                    (sequence_id, len(assignments))
-                    for sequence_id, assignments in entry.occurrences.items()
-                )
-            for sequence_id, n_occurrences in per_sequence:
+            # Summarised entries contribute their stored counts, columnar
+            # ones their per-sequence matrix row counts — no materialising.
+            for sequence_id, n_occurrences in (
+                entry.occurrence_counts_by_sequence().items()
+            ):
                 counts[sequence_id] = counts.get(sequence_id, 0) + n_occurrences
         occurrence_counts[parent_key] = counts
     costs: list[float] = []
@@ -462,6 +462,9 @@ class MiningSession:
         events = collect_events(database)
         stats.events_scanned = len(events)
         all_nodes: dict[EventKey, EventNode] = {}
+        min_pairs = (
+            effective_kernel_min_pairs(self.config) if self.config.vectorized else 0
+        )
         for key, event in events.items():
             if self.event_filter is not None and not self.event_filter(key):
                 continue
@@ -477,7 +480,7 @@ class MiningSession:
                 all_nodes[key] = node
             if bitmap.count() >= min_count:
                 if self.config.vectorized:
-                    _prebuild_columnar_views(node)
+                    _prebuild_columnar_views(node, min_pairs)
                 graph.add_event_node(node)
         stats.frequent_events = len(graph.level1)
         stats.patterns_found[1] = len(graph.level1)
@@ -497,6 +500,7 @@ class MiningSession:
         material of the *touched candidate* test.
         """
         vectorized = self.config.vectorized
+        min_pairs = effective_kernel_min_pairs(self.config) if vectorized else 0
         merged: dict[EventKey, EventNode] = {}
         delta_ids: dict[EventKey, set[int]] = {}
         for key, node in self.events.items():
@@ -523,7 +527,9 @@ class MiningSession:
             # instead of rebuilding every sequence's arrays from scratch.
             merged_node.adopt_sequence_arrays(node)
             if vectorized:
-                _prebuild_columnar_views(merged_node, delta.instances_by_sequence)
+                _prebuild_columnar_views(
+                    merged_node, min_pairs, delta.instances_by_sequence
+                )
             merged[key] = merged_node
             delta_ids[key] = set(delta.instances_by_sequence)
         for key, delta in delta_events.items():
@@ -712,6 +718,8 @@ class MiningSession:
                 node = self._refilter_node(old_nodes.get(key), graph, min_count)
             if node is not None:
                 graph.add_combination_node(node)
+                for entry in node.patterns.values():
+                    entry.bind_sources(graph.level1)
                 produced = True
 
         # ``patterns_found`` describes the merged state (reused + re-mined),
@@ -850,8 +858,14 @@ class MiningSession:
         outcome = backend.run(context, candidates, costs)
         backend_elapsed = time.perf_counter() - backend_start
 
+        level1 = graph.level1
         for node in outcome.nodes:
             graph.add_combination_node(node)
+            # Entries returned by worker processes carry only their index
+            # matrices; re-attach the coordinator's instance lists so the
+            # lazy tuple views (and the next level's scalar path) resolve.
+            for entry in node.patterns.values():
+                entry.bind_sources(level1)
         stats.absorb_counters(outcome.stats)
         evaluation_seconds = outcome.stats.level_seconds.get(context.level, 0.0)
         overhead = max(0.0, (time.perf_counter() - level_start) - backend_elapsed)

@@ -45,8 +45,18 @@ __all__ = ["read_session", "write_session"]
 #:    dict state yields its **keys**, silently assigning ``start="start"``
 #:    etc. — so the version gate below is what turns that silent corruption
 #:    into a clean :class:`DataError`.
+#: 3. ``PatternEntry`` stores occurrences as columnar per-sequence int32
+#:    index matrices instead of instance-tuple lists (smaller files, and the
+#:    wire shape changed from an ``occurrences`` dict to an ``index`` dict).
+#:    Version-2 payloads are still **read**: ``PatternEntry.__setstate__``
+#:    parks the legacy tuples and :func:`read_session` resolves each tuple
+#:    to its position in the event's per-sequence instance list (exact
+#:    duplicates cannot occur there, so the resolution is unambiguous).
+#:    Files are always written in the current version.
 FORMAT_NAME = "repro-mining-session"
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
+#: Versions :func:`read_session` can migrate on load.
+READABLE_VERSIONS = (2, FORMAT_VERSION)
 
 
 def write_session(session: MiningSession, path: str | Path) -> Path:
@@ -100,10 +110,10 @@ def read_session(path: str | Path) -> MiningSession:
     if not isinstance(payload, dict) or payload.get("format") != FORMAT_NAME:
         raise DataError(f"{path} is not a mining-session file")
     version = payload.get("version")
-    if version != FORMAT_VERSION:
+    if version not in READABLE_VERSIONS:
         raise DataError(
             f"{path} uses session format version {version!r}; "
-            f"this build reads version {FORMAT_VERSION}"
+            f"this build reads versions {', '.join(map(str, READABLE_VERSIONS))}"
         )
 
     try:
@@ -123,5 +133,23 @@ def read_session(path: str | Path) -> MiningSession:
     except KeyError as error:
         raise DataError(
             f"{path} is missing session payload entry {error}"
+        ) from error
+    try:
+        # Instance→position maps shared by every entry referencing the same
+        # (event, sequence) during a v2 migration.
+        index_cache: dict = {}
+        for _level, _node, entry in session.graph.iter_pattern_entries():
+            if version == 2:
+                entry.convert_legacy(session.graph.level1, index_cache)
+            # Index matrices travel bare; re-attach the loaded instance lists
+            # so the lazy tuple views (and future appends) resolve, and range-
+            # check every index — a corrupted matrix would otherwise
+            # materialise the wrong instance silently (negative indexing).
+            entry.bind_sources(session.graph.level1)
+            entry.validate_indices()
+    except (KeyError, IndexError, TypeError, AttributeError, ValueError) as error:
+        raise DataError(
+            f"{path} holds occurrence evidence inconsistent with its "
+            f"level-1 instance lists: {error!r}"
         ) from error
     return session

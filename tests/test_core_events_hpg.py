@@ -76,9 +76,9 @@ class TestHierarchicalPatternGraph:
             events=(("K", "On"), ("T", "On")), bitmap=Bitmap.from_indices(4, [0, 1, 2])
         )
         pattern = TemporalPattern(events=(("K", "On"), ("T", "On")), relations=(Relation.CONTAIN,))
-        node.add_pattern_occurrence(
-            pattern, 0, (EventInstance(0, 10, "K", "On"), EventInstance(2, 5, "T", "On"))
-        )
+        instances_k = {0: [EventInstance(0, 10, "K", "On")]}
+        instances_t = {0: [EventInstance(2, 5, "T", "On")]}
+        node.add_pattern_occurrence(pattern, 0, (0, 0), (instances_k, instances_t))
         graph.add_combination_node(node)
         assert graph.max_level() == 2
         assert graph.nodes_at(2) == [node]
@@ -93,21 +93,35 @@ class TestHierarchicalPatternGraph:
 
     def test_pattern_entry_support(self):
         pattern = TemporalPattern(events=(("K", "On"), ("T", "On")), relations=(Relation.FOLLOW,))
-        entry = PatternEntry(pattern=pattern)
-        occurrence = (EventInstance(0, 1, "K", "On"), EventInstance(2, 3, "T", "On"))
-        entry.add_occurrence(0, occurrence)
-        entry.add_occurrence(0, occurrence)
-        entry.add_occurrence(2, occurrence)
+        instance_k = EventInstance(0, 1, "K", "On")
+        instance_t = EventInstance(2, 3, "T", "On")
+        sources = (
+            {0: [instance_k], 2: [instance_k]},
+            {0: [instance_t], 2: [instance_t]},
+        )
+        entry = PatternEntry(pattern=pattern, sources=sources)
+        entry.add_index_row(0, (0, 0))
+        entry.add_index_row(0, (0, 0))
+        entry.add_index_row(2, (0, 0))
         assert entry.support == 2
         assert entry.sequence_ids() == {0, 2}
+        assert entry.n_occurrences == 3
+        # The lazy tuple view materialises the instances the rows point at.
+        assert entry.occurrences == {
+            0: [(instance_k, instance_t), (instance_k, instance_t)],
+            2: [(instance_k, instance_t)],
+        }
 
     def test_prune_patterns(self):
         node = CombinationNode(events=(("K", "On"), ("T", "On")), bitmap=Bitmap(4))
         keep = TemporalPattern(events=(("K", "On"), ("T", "On")), relations=(Relation.FOLLOW,))
         drop = TemporalPattern(events=(("K", "On"), ("T", "On")), relations=(Relation.CONTAIN,))
-        occurrence = (EventInstance(0, 1, "K", "On"), EventInstance(2, 3, "T", "On"))
-        node.add_pattern_occurrence(keep, 0, occurrence)
-        node.add_pattern_occurrence(drop, 1, occurrence)
+        sources = (
+            {0: [EventInstance(0, 1, "K", "On")], 1: [EventInstance(0, 1, "K", "On")]},
+            {0: [EventInstance(2, 3, "T", "On")], 1: [EventInstance(2, 3, "T", "On")]},
+        )
+        node.add_pattern_occurrence(keep, 0, (0, 0), sources)
+        node.add_pattern_occurrence(drop, 1, (0, 0), sources)
         node.prune_patterns({keep})
         assert node.has_patterns()
         assert list(node.patterns) == [keep]

@@ -247,6 +247,83 @@ class TestVectorizedScalarParity:
         assert mined_tuples(appended) == mined_tuples(scratch)
 
 
+def store_snapshot(graph):
+    """The full columnar occurrence store, in iteration (= insertion) order.
+
+    Summarised entries contribute their counts, columnar ones the per-sequence
+    index matrices — comparing snapshots therefore asserts byte-identical
+    evidence, not just byte-identical results."""
+    snapshot = []
+    for level, node, entry in graph.iter_pattern_entries():
+        if entry.is_summary:
+            evidence = ("summary", tuple(entry.occurrence_counts.items()))
+        else:
+            evidence = (
+                "index",
+                tuple(
+                    (sequence_id, matrix.tolist())
+                    for sequence_id, matrix in entry.iter_index_matrices()
+                ),
+            )
+        snapshot.append((level, node.events, entry.pattern, evidence))
+    return snapshot
+
+
+class TestColumnarStoreParity:
+    """The occurrence store itself — not just the mined result — is identical
+    no matter which path built it: scalar or kernel, serial or process, full
+    mine or incremental append."""
+
+    CONFIG = MiningConfig(min_support=0.3, min_confidence=0.3, min_overlap=1.0)
+
+    def _session_store(self, database, config, backend=None):
+        from repro import MiningSession
+
+        session = MiningSession(config)
+        session.mine(database, backend=backend)
+        return session
+
+    def test_scalar_and_vectorized_build_the_identical_store(self):
+        database = random_database(seed=23, n_sequences=10, max_instances=14)
+        vectorized = self._session_store(database, self.CONFIG)
+        scalar = self._session_store(database, self.CONFIG.with_vectorized(False))
+        assert store_snapshot(vectorized.graph) == store_snapshot(scalar.graph)
+
+    def test_process_engine_builds_the_identical_store(self, process_backend):
+        """Retaining sessions disable worker-side summaries, so the process
+        engine must ship back the exact index matrices serial builds — and
+        the coordinator must rebind them so the tuple views materialise."""
+        database = random_database(seed=23, n_sequences=10, max_instances=14)
+        serial = self._session_store(database, self.CONFIG)
+        parallel = self._session_store(database, self.CONFIG, backend=process_backend)
+        assert store_snapshot(serial.graph) == store_snapshot(parallel.graph)
+        for (_, _, serial_entry), (_, _, parallel_entry) in zip(
+            serial.graph.iter_pattern_entries(),
+            parallel.graph.iter_pattern_entries(),
+        ):
+            assert serial_entry.occurrences == parallel_entry.occurrences
+
+    @pytest.mark.parametrize("engine", ["serial", "process"])
+    def test_append_builds_the_scratch_store(self, engine, process_backend):
+        database = random_database(seed=41, n_sequences=14, max_instances=14)
+        base = SequenceDatabase(database.sequences[:10])
+        delta = [
+            TemporalSequence(index, list(sequence.instances))
+            for index, sequence in enumerate(database.sequences[10:])
+        ]
+        from repro import MiningSession
+
+        backend = process_backend if engine == "process" else None
+        session = MiningSession(self.CONFIG)
+        session.mine(base, backend=backend)
+        appended = session.append(delta, backend=backend)
+        scratch = self._session_store(database, self.CONFIG)
+        assert mined_tuples(appended) == mined_tuples(
+            HTPGM(self.CONFIG).mine(database)
+        )
+        assert store_snapshot(session.graph) == store_snapshot(scratch.graph)
+
+
 class TestCostBalancedSharding:
     """The greedy LPT splitter and its count-balanced fallback."""
 

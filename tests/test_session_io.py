@@ -73,6 +73,92 @@ class TestRoundTrip:
             assert loaded.events[key] is node
 
 
+@pytest.fixture()
+def deep_session():
+    """A session whose graph reaches level 3 (the default ``mined_session``
+    database mines nothing at level 2, which would make store-equality
+    assertions vacuous)."""
+    session = MiningSession(
+        MiningConfig(min_support=0.25, min_confidence=0.25, min_overlap=1.0)
+    )
+    session.mine(random_database(0, n_sequences=14, n_series=3, max_instances=16))
+    assert session.graph.levels.get(3), "fixture must reach level 3"
+    return session
+
+
+class TestVersion2Migration:
+    """Version-2 files (instance-tuple occurrence lists) still load: the
+    legacy tuples are resolved to index matrices against the level-1 instance
+    lists, and the migrated session behaves exactly like a native one."""
+
+    @staticmethod
+    def _as_v2(payload, graph):
+        """Rewrite a freshly written payload into the version-2 wire shape."""
+        import numpy as np  # noqa: F401 - parity helpers below use it
+
+        from repro.core.hpg import CombinationNode, PatternEntry
+
+        legacy_levels = {}
+        for level, nodes in graph.levels.items():
+            legacy_nodes = {}
+            for key, node in nodes.items():
+                legacy_node = CombinationNode(events=node.events, bitmap=node.bitmap)
+                for pattern, entry in node.patterns.items():
+                    legacy_entry = PatternEntry.__new__(PatternEntry)
+                    # The exact state dict a version-2 pickle delivers.
+                    legacy_entry.__setstate__(
+                        {
+                            "pattern": pattern,
+                            "occurrences": {
+                                sequence_id: list(occurrences)
+                                for sequence_id, occurrences in entry.occurrences.items()
+                            },
+                            "occurrence_counts": entry.occurrence_counts,
+                        }
+                    )
+                    legacy_node.patterns[pattern] = legacy_entry
+                legacy_nodes[key] = legacy_node
+            legacy_levels[level] = legacy_nodes
+        payload["levels"] = legacy_levels
+        payload["version"] = 2
+        return payload
+
+    def test_v2_file_loads_with_the_identical_store(self, deep_session, tmp_path):
+        import numpy as np
+
+        path = write_session(deep_session, tmp_path / "state.bin")
+        assert pickle.loads(path.read_bytes())["version"] == FORMAT_VERSION == 3
+        payload = self._as_v2(
+            pickle.loads(path.read_bytes()), deep_session.graph
+        )
+        path.write_bytes(pickle.dumps(payload))
+        loaded = read_session(path)
+        originals = list(deep_session.graph.iter_pattern_entries())
+        migrated = list(loaded.graph.iter_pattern_entries())
+        assert len(originals) == len(migrated) > 0
+        for (_, _, original), (_, _, entry) in zip(originals, migrated):
+            assert original.pattern == entry.pattern
+            assert not entry.is_summary
+            assert original.sequence_ids() == entry.sequence_ids()
+            for sequence_id in original.sequence_ids():
+                assert np.array_equal(
+                    original.index_matrix(sequence_id),
+                    entry.index_matrix(sequence_id),
+                )
+
+    def test_append_after_v2_migration_matches_native_append(
+        self, deep_session, tmp_path
+    ):
+        path = write_session(deep_session, tmp_path / "state.bin")
+        payload = self._as_v2(pickle.loads(path.read_bytes()), deep_session.graph)
+        path.write_bytes(pickle.dumps(payload))
+        loaded = read_session(path)
+        delta = random_database(9, n_sequences=3, n_series=3, max_instances=16).sequences
+        migrated_result = loaded.append(list(delta))
+        native_result = deep_session.append(list(delta))
+        assert mined_tuples(migrated_result) == mined_tuples(native_result)
+
+
 class TestGuards:
     def test_unmined_session_rejected(self, tmp_path):
         with pytest.raises(MiningError):
@@ -135,3 +221,18 @@ class TestGuards:
     def test_missing_file_raises_oserror(self, tmp_path):
         with pytest.raises(OSError):
             read_session(tmp_path / "missing.bin")
+
+    @pytest.mark.parametrize("bad_index", [-1, 10_000])
+    def test_corrupted_index_matrix_rejected(self, deep_session, tmp_path, bad_index):
+        """A v3 file whose index matrices point outside the instance lists is
+        a clean DataError at load time — a negative index would otherwise
+        silently materialise the wrong instance via Python indexing."""
+        path = write_session(deep_session, tmp_path / "state.bin")
+        payload = pickle.loads(path.read_bytes())
+        node = next(iter(payload["levels"][2].values()))
+        entry = next(iter(node.patterns.values()))
+        sequence_id, matrix = next(entry.iter_index_matrices())
+        matrix[0, 0] = bad_index
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(DataError, match="occurrence evidence inconsistent"):
+            read_session(path)
