@@ -19,6 +19,7 @@ to run every benchmark file quickly so the benchmark code cannot silently rot.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import pytest
@@ -33,6 +34,23 @@ from _bench_utils import bench_scale
 #: Global scale multiplier applied to all benchmark datasets
 #: (``REPRO_BENCH_SCALE``, quartered under ``REPRO_BENCH_SMOKE``).
 BENCH_SCALE = bench_scale()
+
+
+def _repro_shm_entries() -> set[str]:
+    """Live repro-owned shared-memory blocks (Linux exposes them in /dev/shm)."""
+    try:
+        return {name for name in os.listdir("/dev/shm") if name.startswith("repro-")}
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_shared_memory_blocks():
+    """Benchmarks must not leak shared-memory blocks either (see tests/)."""
+    before = _repro_shm_entries()
+    yield
+    leaked = _repro_shm_entries() - before
+    assert not leaked, f"leaked shared-memory blocks: {sorted(leaked)}"
 
 
 @dataclass

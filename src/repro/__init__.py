@@ -69,6 +69,7 @@ from .exceptions import (
     ConfigurationError,
     DataError,
     MiningError,
+    RepresentationOverflowError,
     ReproError,
     SymbolizationError,
 )
@@ -135,4 +136,5 @@ __all__ = [
     "DataError",
     "SymbolizationError",
     "MiningError",
+    "RepresentationOverflowError",
 ]

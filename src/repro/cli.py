@@ -107,6 +107,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker count for --parallel (default: all available CPUs)",
     )
     mine.add_argument(
+        "--shared-memory",
+        action="store_true",
+        help=(
+            "ship --parallel worker payloads through POSIX shared memory "
+            "(zero-copy array views instead of pickled copies; identical "
+            "pattern set, falls back to pickling where unsupported)"
+        ),
+    )
+    mine.add_argument(
         "--session",
         help=(
             "mining-session state file: with --input, mine and save the "
@@ -183,6 +192,9 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     if args.workers is not None and not args.parallel:
         print("error: --workers requires --parallel", file=sys.stderr)
         return 2
+    if args.shared_memory and not args.parallel:
+        print("error: --shared-memory requires --parallel", file=sys.stderr)
+        return 2
     if not args.approximate and (
         args.mi_threshold is not None or args.density is not None
     ):
@@ -241,7 +253,9 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         process = FTPMfTS(
             split_config=SplitConfig(window_length=args.window, overlap=args.overlap),
             symbolizers=_symbolizer_from_args(args),
-            mining_config=session.config.with_engine(engine, args.workers),
+            mining_config=session.config.with_engine(
+                engine, args.workers, args.shared_memory
+            ),
         )
         result = process.mine_incremental(series_set, session)
         write_session(session, args.session)
@@ -263,6 +277,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             max_pattern_size=args.max_size,
             engine=engine,
             n_workers=args.workers,
+            shared_memory=args.shared_memory,
         )
         process = FTPMfTS(
             split_config=SplitConfig(window_length=args.window, overlap=args.overlap),

@@ -91,6 +91,17 @@ class MiningConfig:
     n_workers:
         Worker count for the ``"process"`` engine; ``None`` uses all available
         CPUs.  Ignored by the serial engine.
+    shared_memory:
+        When True the ``"process"`` engine ships worker payloads through
+        POSIX shared memory (:mod:`repro.core.shm`): the level-1 columnar
+        arrays and occurrence index matrices are placed in
+        ``multiprocessing.shared_memory`` blocks and workers receive only
+        block names plus ``(offset, shape, dtype)`` descriptors, rebuilding
+        zero-copy NumPy views instead of unpickling copies; shard returns
+        travel the same way.  A pure transport choice — results are
+        byte-identical either way — that falls back to the pickle path
+        automatically where shared memory is unavailable.  Ignored by the
+        serial engine.
     vectorized:
         When True (the default) instance-pair relation classification runs
         through the NumPy batch kernel
@@ -132,6 +143,7 @@ class MiningConfig:
     pruning: PruningMode = PruningMode.ALL
     engine: str = "serial"
     n_workers: int | None = None
+    shared_memory: bool = False
     vectorized: bool = True
     kernel_min_pairs: int | None = None
     kernel_chunk_bytes: int | None = 64 * 1024 * 1024
@@ -200,10 +212,21 @@ class MiningConfig:
         return replace(self, pruning=PruningMode(pruning))
 
     def with_engine(
-        self, engine: str, n_workers: int | None = None
+        self,
+        engine: str,
+        n_workers: int | None = None,
+        shared_memory: bool = False,
     ) -> "MiningConfig":
-        """Copy of this configuration with a different execution backend."""
-        return replace(self, engine=engine, n_workers=n_workers)
+        """Copy of this configuration with a different execution backend.
+
+        ``n_workers`` and ``shared_memory`` are execution details of the
+        target backend, so they are overwritten (not inherited) — a serially
+        mined session can be re-run with ``engine="process",
+        shared_memory=True`` and vice versa.
+        """
+        return replace(
+            self, engine=engine, n_workers=n_workers, shared_memory=shared_memory
+        )
 
     def with_vectorized(self, vectorized: bool) -> "MiningConfig":
         """Copy of this configuration with the relation kernel toggled."""

@@ -97,6 +97,7 @@ import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..timeseries.sequences import EventInstance
+from . import shm
 from .bitmap import Bitmap
 from .config import MiningConfig
 from .events import EventKey
@@ -1337,6 +1338,29 @@ def _call_forked(items: list) -> Any:
     return func(payload, items)
 
 
+def _call_forked_shared(items: list, response_name: str) -> Any:
+    """Fork worker entry point returning its result through a shared block."""
+    assert _FORK_PAYLOAD is not None, "fork worker started without a payload"
+    func, payload = _FORK_PAYLOAD
+    return shm.pack_shared(func(payload, items), response_name)
+
+
+def _call_pooled_shared(
+    func: Callable[[Any, list], Any],
+    request: "shm.SharedPayload",
+    items: list,
+    response_name: str,
+) -> Any:
+    """Pool worker entry point with both directions over shared memory.
+
+    The request payload is mapped (and cached per block name, so one batch's
+    shards unpickle the context once per worker); the result's arrays go back
+    through the pre-named response block.
+    """
+    payload = shm.load_request(request)
+    return shm.pack_shared(func(payload, items), response_name)
+
+
 def _fork_available() -> bool:
     """Whether copy-on-write worker processes are supported (Linux/macOS)."""
     return "fork" in multiprocessing.get_all_start_methods()
@@ -1362,8 +1386,26 @@ class ProcessPoolBackend:
       item shards are pickled in, and only the results are pickled out
       (final-level results additionally slimmed to summaries, see
       :func:`_evaluate_level_shard`).
-    * On spawn-only platforms (Windows) a persistent pool is kept and the
-      payload is pickled once per shard.
+    * Otherwise (Windows, or an explicit ``start_method``) a persistent pool
+      is kept and the payload is pickled once per shard.
+
+    ``shared_memory=True`` layers the zero-copy transport of
+    :mod:`repro.core.shm` on top of either: shard *returns* write their
+    survivor index matrices into a per-shard response block the coordinator
+    pre-names (so only descriptors cross the pipe, and crash cleanup can
+    unlink by name), and on the pooled transport the *request* — pickle blob
+    plus the level-1 columnar arrays, instance-count vectors and parent index
+    matrices — is packed into one block per batch instead of being re-pickled
+    per shard.  The flag silently falls back to the pickle transports when
+    shared memory is unavailable, and it never changes results: all blocks
+    are unlinked by the coordinator on every exit path (see
+    :func:`shm.cleanup_blocks`), including worker crashes and
+    ``KeyboardInterrupt``.
+
+    ``start_method`` pins the :mod:`multiprocessing` start method (e.g.
+    ``"spawn"`` to exercise the spawn transport on a fork-capable platform);
+    ``None`` keeps the historical choice — fork when available, the
+    platform default otherwise.
 
     ``shards_per_worker`` over-decomposes the split: targeting ``N`` shards
     per worker (instead of exactly one) bounds the damage of a cost-model
@@ -1385,6 +1427,8 @@ class ProcessPoolBackend:
         min_candidates_per_worker: int = 4,
         cost_balanced: bool = True,
         shards_per_worker: int = 1,
+        shared_memory: bool = False,
+        start_method: str | None = None,
     ) -> None:
         if n_workers is not None and n_workers < 1:
             raise ConfigurationError(
@@ -1399,10 +1443,26 @@ class ProcessPoolBackend:
             raise ConfigurationError(
                 f"shards_per_worker must be >= 1, got {shards_per_worker}"
             )
+        if (
+            start_method is not None
+            and start_method not in multiprocessing.get_all_start_methods()
+        ):
+            raise ConfigurationError(
+                f"start_method must be one of "
+                f"{multiprocessing.get_all_start_methods()} or None, "
+                f"got {start_method!r}"
+            )
         self.n_workers = n_workers if n_workers is not None else available_workers()
         self.min_candidates_per_worker = min_candidates_per_worker
         self.cost_balanced = cost_balanced
         self.shards_per_worker = shards_per_worker
+        self.start_method = start_method
+        self.shared_memory = bool(shared_memory)
+        #: Whether the zero-copy transport is actually in effect (requested
+        #: *and* supported by the platform; otherwise pickle fallback).
+        self.shared_memory_active = (
+            self.shared_memory and shm.shared_memory_available()
+        )
         #: Only a cost-balancing backend can use the miner's estimates.
         self.wants_costs = cost_balanced
         self._executor: ProcessPoolExecutor | None = None
@@ -1410,14 +1470,27 @@ class ProcessPoolBackend:
     # ------------------------------------------------------------------ lifecycle
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=self.n_workers)
+            mp_context = (
+                multiprocessing.get_context(self.start_method)
+                if self.start_method is not None
+                else None
+            )
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.n_workers, mp_context=mp_context
+            )
         return self._executor
 
     def close(self) -> None:
-        """Shut any persistent worker pool down (recreated on the next run)."""
+        """Shut any persistent worker pool down (recreated on the next run).
+
+        Idempotent, and safe to call on a broken pool (after a worker
+        crash); runs automatically on every exit path — context-manager
+        ``__exit__``, the owning session/pipeline ``finally`` blocks, and
+        mid-batch failures in :meth:`_run_shards`.
+        """
         if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+            executor, self._executor = self._executor, None
+            executor.shutdown(wait=True)
 
     def __enter__(self) -> "ProcessPoolBackend":
         return self
@@ -1492,12 +1565,38 @@ class ProcessPoolBackend:
         payload: Any,
         shards: list[list],
     ) -> list[_R]:
-        """Execute one shard batch, transporting the payload fork- or pickle-wise."""
-        if _fork_available():
+        """Execute one shard batch over the configured transport."""
+        if self.start_method == "fork" or (
+            self.start_method is None and _fork_available()
+        ):
             return self._run_forked(func, payload, shards)
-        executor = self._ensure_executor()  # pragma: no cover - spawn-only platforms
-        futures = [executor.submit(func, payload, shard) for shard in shards]
-        return [future.result() for future in futures]
+        return self._run_pooled(func, payload, shards)
+
+    def _response_names(self, n_shards: int) -> list[str | None] | None:
+        """Pre-generated response block names, one per shard (shm mode only).
+
+        Naming the blocks *before* any worker runs is what makes crash
+        cleanup deterministic: whatever a worker managed to create before
+        dying is unlinkable by name from the coordinator's ``finally``.
+        Consumed slots are overwritten with ``None`` as results arrive.
+        """
+        if not self.shared_memory_active:
+            return None
+        return [shm.generate_block_name() for _ in range(n_shards)]
+
+    def _collect(
+        self, futures: list, response_names: list[str | None] | None
+    ) -> list:
+        """Gather future results, resolving shared responses as they land."""
+        results = []
+        for index, future in enumerate(futures):
+            result = future.result()
+            if isinstance(result, shm.SharedOutcome):
+                result = shm.load_shared(result)
+            if response_names is not None:
+                response_names[index] = None
+            results.append(result)
+        return results
 
     def _run_forked(
         self, func: Callable[[Any, list], _R], payload: Any, shards: list[list]
@@ -1505,21 +1604,66 @@ class ProcessPoolBackend:
         """Fork a per-batch pool whose workers inherit the payload for free."""
         global _FORK_PAYLOAD
         _FORK_PAYLOAD = (func, payload)
+        response_names = self._response_names(len(shards))
         try:
             with ProcessPoolExecutor(
                 max_workers=min(len(shards), self.n_workers),
                 mp_context=multiprocessing.get_context("fork"),
             ) as executor:
-                futures = [executor.submit(_call_forked, shard) for shard in shards]
-                return [future.result() for future in futures]
+                if response_names is None:
+                    futures = [
+                        executor.submit(_call_forked, shard) for shard in shards
+                    ]
+                else:
+                    futures = [
+                        executor.submit(_call_forked_shared, shard, name)
+                        for shard, name in zip(shards, response_names)
+                    ]
+                return self._collect(futures, response_names)
         finally:
             _FORK_PAYLOAD = None
+            if response_names is not None:
+                # Unconsumed response blocks (worker crash, KeyboardInterrupt,
+                # a failed resolve) — unlink whatever exists.
+                shm.cleanup_blocks(response_names)
+
+    def _run_pooled(
+        self, func: Callable[[Any, list], _R], payload: Any, shards: list[list]
+    ) -> list[_R]:
+        """Run on the persistent pool, payload per shard or via one block."""
+        executor = self._ensure_executor()
+        response_names = self._response_names(len(shards))
+        request_store = None
+        try:
+            if response_names is not None:
+                request, request_store = shm.pack_request(payload)
+                futures = [
+                    executor.submit(_call_pooled_shared, func, request, shard, name)
+                    for shard, name in zip(shards, response_names)
+                ]
+            else:
+                futures = [
+                    executor.submit(func, payload, shard) for shard in shards
+                ]
+            return self._collect(futures, response_names)
+        except BaseException:
+            # A worker crash leaves the persistent executor broken, an
+            # interrupt leaves futures queued on it — drop the pool either
+            # way instead of leaking it; the next run recreates one.
+            self.close()
+            raise
+        finally:
+            if request_store is not None:
+                request_store.unlink()
+            if response_names is not None:
+                shm.cleanup_blocks(response_names)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (
             f"ProcessPoolBackend(n_workers={self.n_workers}, "
             f"cost_balanced={self.cost_balanced}, "
-            f"shards_per_worker={self.shards_per_worker})"
+            f"shards_per_worker={self.shards_per_worker}, "
+            f"shared_memory={self.shared_memory})"
         )
 
 
@@ -1593,7 +1737,9 @@ def backend_from_config(config: MiningConfig) -> ExecutionBackend:
     if config.engine == "serial":
         return SerialBackend()
     if config.engine == "process":
-        return ProcessPoolBackend(n_workers=config.n_workers)
+        return ProcessPoolBackend(
+            n_workers=config.n_workers, shared_memory=config.shared_memory
+        )
     raise ConfigurationError(  # pragma: no cover - caught by MiningConfig validation
         f"unknown engine {config.engine!r}; known: 'serial', 'process'"
     )

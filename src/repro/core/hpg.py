@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..exceptions import RepresentationOverflowError
 from ..timeseries.sequences import EventInstance
 from .bitmap import Bitmap
 from .events import EventKey
@@ -54,6 +55,25 @@ IndexRow = tuple[int, ...]
 InstanceSources = tuple[Mapping[int, list[EventInstance]], ...]
 
 
+#: Storage dtype of the index matrices and its largest representable list
+#: position.  ``_INDEX_MAX`` is a module attribute (not an inlined literal)
+#: so the overflow-guard tests can lower the boundary without building a
+#: multi-gigabyte instance list.
+_INDEX_DTYPE = np.int32
+_INDEX_MAX = int(np.iinfo(np.int32).max)
+
+
+def _checked_rows(pending: list[IndexRow]) -> np.ndarray:
+    """Convert pending scalar-path rows to int32, refusing silent wraparound."""
+    rows = np.asarray(pending, dtype=np.int64)
+    if rows.size and int(rows.max()) > _INDEX_MAX:
+        raise RepresentationOverflowError(
+            f"instance-list index {int(rows.max())} does not fit the columnar "
+            f"store's {np.dtype(_INDEX_DTYPE).name} index dtype (max {_INDEX_MAX})"
+        )
+    return rows.astype(_INDEX_DTYPE)
+
+
 def _consolidate_blocks(value: object, width: int) -> np.ndarray:
     """One ``(n, width)`` int32 matrix out of a mixed row/block build list."""
     if isinstance(value, np.ndarray):
@@ -63,15 +83,15 @@ def _consolidate_blocks(value: object, width: int) -> np.ndarray:
     for item in value:
         if isinstance(item, np.ndarray):
             if pending:
-                blocks.append(np.asarray(pending, dtype=np.int32))
+                blocks.append(_checked_rows(pending))
                 pending = []
             blocks.append(item)
         else:
             pending.append(item)
     if pending:
-        blocks.append(np.asarray(pending, dtype=np.int32))
+        blocks.append(_checked_rows(pending))
     if not blocks:
-        return np.empty((0, width), dtype=np.int32)
+        return np.empty((0, width), dtype=_INDEX_DTYPE)
     if len(blocks) == 1:
         return blocks[0]
     return np.concatenate(blocks, axis=0)
@@ -212,7 +232,17 @@ class PatternEntry:
         if self._row_cache or self._view_cache:
             self._row_cache.pop(sequence_id, None)
             self._view_cache.pop(sequence_id, None)
-        block = np.ascontiguousarray(block, dtype=np.int32)
+        block = np.ascontiguousarray(block)
+        if block.dtype != _INDEX_DTYPE:
+            # Kernel survivor blocks arrive as platform intp; a position past
+            # the int32 ceiling would wrap negative in the cast below.
+            if block.size and int(block.max()) > _INDEX_MAX:
+                raise RepresentationOverflowError(
+                    f"instance-list index {int(block.max())} in sequence "
+                    f"{sequence_id} does not fit the columnar store's "
+                    f"{np.dtype(_INDEX_DTYPE).name} index dtype (max {_INDEX_MAX})"
+                )
+            block = np.ascontiguousarray(block, dtype=_INDEX_DTYPE)
         value = self._store.get(sequence_id)
         if value is None:
             self._store[sequence_id] = block
@@ -283,6 +313,25 @@ class PatternEntry:
             self._sources = tuple(
                 level1[event].instances_by_sequence for event in self.pattern.events
             )
+
+    def attach_index_matrices(
+        self, matrices: Mapping[int, np.ndarray]
+    ) -> None:
+        """Adopt externally owned consolidated index matrices wholesale.
+
+        The buffer-attach counterpart of :meth:`bind_sources`: where
+        ``bind_sources`` re-attaches the *instance* side of an entry that
+        crossed a process boundary, this attaches the *matrix* side without
+        copying — the shared-memory transport
+        (:mod:`repro.core.shm`) rebuilds entries around read-only NumPy views
+        into a mapped block instead of unpickled array copies.  The matrices
+        must already be consolidated ``(n_occurrences, k)`` arrays keyed by
+        sequence id, in insertion order; the entry stores them as-is (views
+        stay views) and sources remain unbound until :meth:`bind_sources`.
+        """
+        self._store = dict(matrices)
+        self._row_cache = {}
+        self._view_cache = {}
 
     # ------------------------------------------------------------------ materialisation
     def materialise(self, sequence_id: int) -> list[Occurrence]:
@@ -511,6 +560,30 @@ class EventNode:
         """
         if other._sequence_arrays:
             self._sequence_arrays = other._sequence_arrays
+
+    def attach_sequence_arrays(
+        self,
+        arrays: dict[int, tuple[np.ndarray, np.ndarray]] | None,
+        instance_counts: np.ndarray | None = None,
+    ) -> None:
+        """Adopt externally built columnar views (the buffer-attach path).
+
+        Used by the shared-memory transport (:mod:`repro.core.shm`) to hand a
+        worker the coordinator's cached per-sequence ``(starts, ends)`` arrays
+        as read-only views into a mapped block, so the worker neither
+        unpickles copies nor rebuilds them from the instance lists.  Safe for
+        the same reason :meth:`adopt_sequence_arrays` is: an existing
+        sequence's columnar view never changes, so attached views can only be
+        the views the coordinator would have shipped anyway.
+        """
+        if arrays:
+            cache = self._sequence_arrays
+            if cache is None:
+                self._sequence_arrays = dict(arrays)
+            else:
+                cache.update(arrays)
+        if instance_counts is not None:
+            self._instance_counts = instance_counts
 
     def instance_counts(self, n_sequences: int) -> np.ndarray:
         """Dense per-sequence instance-count vector of length ``n_sequences``.

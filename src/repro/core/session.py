@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import time
 from collections.abc import Callable, Iterable
+from dataclasses import replace
 from itertools import combinations
 
 import numpy as np
@@ -797,6 +798,15 @@ class MiningSession:
         future append may extend any stored occurrence.
         """
         config = self.config
+        if config.vectorized and config.kernel_min_pairs is None:
+            # Pin the coordinator's calibrated scalar/kernel crossover into
+            # the shipped config: forked workers would inherit it anyway, but
+            # spawn workers re-run the timed microprobe and could calibrate
+            # differently — changing kernel routing (a scheduling choice, but
+            # one that should not silently vary per worker mid-run).
+            config = replace(
+                config, kernel_min_pairs=effective_kernel_min_pairs(config)
+            )
         final_level = (
             not self.retain_occurrences and config.max_pattern_size == level
         )

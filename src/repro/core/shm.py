@@ -1,0 +1,474 @@
+"""Zero-copy shared-memory transport for worker payloads.
+
+The columnar refactors (PR 4/5) made every hot payload a flat ``float64`` or
+``int32`` array: the level-1 per-sequence start/end arrays, the instance-count
+vectors, and the per-entry occurrence index matrices.  Pickling those arrays
+through a process pool copies them twice (serialise + deserialise) per
+boundary crossing; this module ships them through
+:mod:`multiprocessing.shared_memory` instead, so the other side reconstructs
+*views* into a mapped block.
+
+Two pieces cooperate:
+
+* :class:`SharedArrayStore` packs any number of arrays into **one** block.
+  It is two-phase: :meth:`SharedArrayStore.add` only records the array and
+  assigns it a :class:`ShmArrayRef` — the ``(block, offset, shape, dtype)``
+  descriptor that crosses the process boundary — and :meth:`SharedArrayStore.seal`
+  then creates the block sized to the final layout and copies every array in.
+
+* :func:`dumps_shared` pickles an object graph with a custom pickler that
+  diverts every eligible ``numpy`` array into a store, leaving only
+  descriptors in the stream; the stream also rebuilds
+  :class:`~repro.core.hpg.EventNode` via ``attach_sequence_arrays`` (the
+  columnar caches travel as views instead of being dropped and rebuilt) and
+  :class:`~repro.core.hpg.PatternEntry` via ``attach_index_matrices``.  The
+  receive side is a plain :func:`pickle.loads` — the descriptors resolve
+  themselves by attaching the named block and wrapping a read-only view.
+
+Transport protocol (used by :class:`~repro.core.engine.ProcessPoolBackend`):
+
+* **Requests** (spawn pool): the coordinator packs the whole ``LevelContext``
+  once per batch — pickle blob *and* arrays in one block — and submits only
+  ``(block name, blob descriptor, shard)`` per shard; workers attach and
+  cache the payload per block name (:func:`load_request`).
+* **Responses** (fork and spawn): the coordinator pre-generates one block
+  name per shard; the worker packs its result into that block
+  (:func:`pack_shared`, falling back to a plain return when the result holds
+  no arrays or the block cannot be created) and the coordinator resolves and
+  immediately unlinks it (:func:`load_shared`).
+
+Lifecycle: every block is created and attached *tracked*, and every name is
+unlinked exactly once by the coordinator — on the happy path right after
+consumption, otherwise by :func:`cleanup_blocks` from the backend's
+``finally``/``close()`` paths — so the shared ``resource_tracker`` cache
+always drains to empty: no leaked-block warnings at interpreter shutdown and
+no stale ``/dev/shm`` entries, even after a worker crash or
+``KeyboardInterrupt``.  Should the coordinator die uncleanly anyway, the
+tracker process reaps whatever was still registered.
+"""
+
+from __future__ import annotations
+
+import io
+import itertools
+import os
+import pickle
+import secrets
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, NamedTuple
+
+import numpy as np
+
+from .hpg import EventNode, PatternEntry
+
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - exotic builds without _posixshmem
+    _shared_memory = None
+
+__all__ = [
+    "ShmArrayRef",
+    "SharedArrayStore",
+    "SharedPayload",
+    "SharedOutcome",
+    "shared_memory_available",
+    "generate_block_name",
+    "dumps_shared",
+    "pack_request",
+    "pack_shared",
+    "load_shared",
+    "load_request",
+    "attach_array",
+    "cleanup_blocks",
+]
+
+#: Offset alignment of packed arrays.  64 bytes keeps every view on its own
+#: cache line and satisfies any dtype's alignment requirement.
+_ALIGNMENT = 64
+
+#: Block names this process generated — ``repro-<pid>-<salt>-<n>``.  Short
+#: (POSIX caps shm names at 31 characters on macOS) and collision-free:
+#: only coordinators generate names, workers receive them.
+_name_prefix: str | None = None
+_name_counter = itertools.count()
+
+#: Blocks this process has attached for reading, by name.  Handles are
+#: retained for the life of the process: ``np.ndarray(buffer=shm.buf, ...)``
+#: does **not** hold a buffer export on the mapping (NumPy releases the
+#: ``Py_buffer`` immediately and keeps only an object reference), so closing
+#: a handle would unmap the segment underneath any live views and turn later
+#: reads into a segfault.  The cost is one fd + one mapping per consumed
+#: block — bounded by shards × levels per run, and the mapped array data is
+#: exactly the occurrence evidence the receiver retains anyway.
+_attached: "OrderedDict[str, Any]" = OrderedDict()
+
+#: Worker-side cache of the last unpacked request payload (one per block
+#: name): every shard of a batch shares one request block, so the context is
+#: unpickled once per batch per worker instead of once per shard.
+_request_cache: tuple[str, Any] | None = None
+
+_available: bool | None = None
+
+
+def generate_block_name() -> str:
+    """A new unique shared-memory block name owned by this process."""
+    global _name_prefix
+    if _name_prefix is None:
+        _name_prefix = f"repro-{os.getpid():x}-{secrets.token_hex(2)}"
+    return f"{_name_prefix}-{next(_name_counter):x}"
+
+
+def shared_memory_available() -> bool:
+    """Probe (once per process) whether shared-memory blocks actually work.
+
+    Importing :mod:`multiprocessing.shared_memory` is not enough — a locked
+    down ``/dev/shm`` or a missing ``_posixshmem`` still fails at create
+    time — so the probe creates and unlinks a 1-byte block.
+    """
+    global _available
+    if _available is None:
+        if _shared_memory is None:
+            _available = False
+        else:
+            try:
+                probe = _shared_memory.SharedMemory(
+                    name=generate_block_name(), create=True, size=1
+                )
+            except (OSError, ValueError):
+                _available = False
+            else:
+                probe.close()
+                try:
+                    probe.unlink()
+                except OSError:  # pragma: no cover - unlink raced by cleanup
+                    pass
+                _available = True
+    return _available
+
+
+class ShmArrayRef(NamedTuple):
+    """Descriptor of one array inside a shared block: what crosses the wire."""
+
+    #: Shared-memory block name the array lives in.
+    block: str
+    #: Byte offset of the array data inside the block.
+    offset: int
+    #: Array shape.
+    shape: tuple[int, ...]
+    #: NumPy dtype string (``np.dtype(...).str``, byte order included).
+    dtype: str
+
+
+class SharedArrayStore:
+    """Packs NumPy arrays into one shared-memory block, by descriptor.
+
+    The store is the write side of the zero-copy transport.  It works in two
+    phases so one block of exactly the right size is created per payload:
+
+    1. **Collect** — :meth:`add` records the array, assigns it the next
+       64-byte-aligned offset, and returns the :class:`ShmArrayRef`
+       descriptor to embed in the wire payload.  Nothing is allocated yet.
+    2. **Seal** — :meth:`seal` creates the ``multiprocessing.shared_memory``
+       block and copies every collected array into its slot.
+
+    The receive side never sees this class: a descriptor resolves through
+    :func:`attach_array`, which maps the named block and returns a read-only
+    ``np.ndarray`` view at ``(offset, shape, dtype)`` — no copy, no pickle.
+
+    Ownership: whoever constructs the store names the block (coordinators
+    pre-generate response-block names and pass them to workers) and the
+    *coordinator* always unlinks it — directly via :meth:`unlink`, or via
+    :func:`load_shared` / :func:`cleanup_blocks` for worker-created response
+    blocks.  :meth:`close` and :meth:`unlink` are idempotent, and the store
+    is a context manager whose exit closes *and* unlinks, for coordinator
+    owned request blocks.
+    """
+
+    def __init__(self, name: str | None = None) -> None:
+        self.name = name if name is not None else generate_block_name()
+        self._pending: list[tuple[int, np.ndarray]] = []
+        self._size = 0
+        self._shm: Any = None
+        self._unlinked = False
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of array data collected so far (aligned layout size)."""
+        return self._size
+
+    @property
+    def n_arrays(self) -> int:
+        """Number of arrays collected."""
+        return len(self._pending)
+
+    def add(self, array: np.ndarray) -> ShmArrayRef:
+        """Assign ``array`` a slot in the (future) block and describe it."""
+        if self._shm is not None:
+            raise ValueError("cannot add arrays to a sealed SharedArrayStore")
+        array = np.ascontiguousarray(array)
+        offset = -(-self._size // _ALIGNMENT) * _ALIGNMENT
+        self._pending.append((offset, array))
+        self._size = offset + array.nbytes
+        return ShmArrayRef(self.name, offset, array.shape, array.dtype.str)
+
+    def seal(self) -> "SharedArrayStore":
+        """Create the block and copy every collected array in; idempotent."""
+        if self._shm is None:
+            if _shared_memory is None:  # pragma: no cover - gated by caller
+                raise OSError("multiprocessing.shared_memory is unavailable")
+            self._shm = _shared_memory.SharedMemory(
+                name=self.name, create=True, size=max(self._size, 1)
+            )
+            buf = self._shm.buf
+            for offset, array in self._pending:
+                if array.nbytes:
+                    view = np.ndarray(
+                        array.shape, dtype=array.dtype, buffer=buf, offset=offset
+                    )
+                    view[...] = array
+                    del view
+            self._pending = []
+        return self
+
+    def close(self) -> None:
+        """Drop this process's mapping of the block; idempotent.
+
+        The block itself (and any other process's views of it) survives until
+        :meth:`unlink`.
+        """
+        if self._shm is not None:
+            try:
+                self._shm.close()
+            except BufferError:  # pragma: no cover - live exported views
+                pass
+            self._shm = None
+
+    def unlink(self) -> None:
+        """Remove the block from the system; idempotent.
+
+        Existing mappings stay valid (POSIX semantics); the memory is freed
+        once the last mapping is gone.  A store that never sealed has nothing
+        to unlink.
+        """
+        if self._unlinked:
+            return
+        self._unlinked = True
+        if self._shm is not None:
+            shm, self._shm = self._shm, None
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already reaped
+                pass
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - live exported views
+                pass
+        else:
+            cleanup_blocks([self.name])
+
+    def __enter__(self) -> "SharedArrayStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.unlink()
+
+
+def _attach(name: str):
+    """This process's (cached) ``SharedMemory`` handle of a named block."""
+    shm = _attached.get(name)
+    if shm is None:
+        if _shared_memory is None:  # pragma: no cover - gated by caller
+            raise OSError("multiprocessing.shared_memory is unavailable")
+        shm = _shared_memory.SharedMemory(name=name)
+        _attached[name] = shm
+    return shm
+
+
+def attach_array(ref: ShmArrayRef) -> np.ndarray:
+    """Resolve a descriptor to a read-only view into the mapped block."""
+    shm = _attach(ref.block)
+    view: np.ndarray = np.ndarray(
+        ref.shape, dtype=np.dtype(ref.dtype), buffer=shm.buf, offset=ref.offset
+    )
+    view.flags.writeable = False
+    return view
+
+
+def _attach_ref(block: str, offset: int, shape: tuple, dtype: str) -> np.ndarray:
+    # Unpickle target of a diverted array (positional args pickle smallest).
+    return attach_array(ShmArrayRef(block, offset, shape, dtype))
+
+
+def _rebuild_event_node(event, bitmap, instances_by_sequence, arrays, counts):
+    # Unpickle target of an EventNode whose columnar caches travel as views.
+    node = EventNode(
+        event=event, bitmap=bitmap, instances_by_sequence=instances_by_sequence
+    )
+    node.attach_sequence_arrays(arrays, counts)
+    return node
+
+
+def _rebuild_pattern_entry(pattern, matrices, counts):
+    # Unpickle target of a PatternEntry: matrices attach, sources stay
+    # unbound until the receiver's bind_sources (exactly like plain pickle).
+    entry = PatternEntry(pattern=pattern, occurrence_counts=counts)
+    entry.attach_index_matrices(matrices)
+    return entry
+
+
+class _SharedPickler(pickle.Pickler):
+    """Pickler that diverts arrays (and array-holding nodes) into a store."""
+
+    def __init__(self, buffer: io.BytesIO, store: SharedArrayStore) -> None:
+        super().__init__(buffer, protocol=pickle.HIGHEST_PROTOCOL)
+        self._store = store
+
+    def reducer_override(self, obj: Any):
+        if type(obj) is np.ndarray:
+            if obj.ndim == 0 or obj.size == 0 or obj.dtype.hasobject:
+                return NotImplemented  # not worth (or not safe) diverting
+            ref = self._store.add(obj)
+            return (_attach_ref, tuple(ref))
+        if type(obj) is EventNode:
+            # Unlike EventNode.__getstate__ (which drops the derived caches
+            # so plain pickles stay small), ship the columnar arrays as
+            # views: that is the entire point of the transport.
+            return (
+                _rebuild_event_node,
+                (
+                    obj.event,
+                    obj.bitmap,
+                    obj.instances_by_sequence,
+                    obj._sequence_arrays,
+                    obj._instance_counts,
+                ),
+            )
+        if type(obj) is PatternEntry and obj._legacy_occurrences is None:
+            matrices = {
+                sequence_id: matrix
+                for sequence_id, matrix in obj.iter_index_matrices()
+            }
+            return (
+                _rebuild_pattern_entry,
+                (obj.pattern, matrices, obj.occurrence_counts),
+            )
+        return NotImplemented
+
+
+def dumps_shared(obj: Any, store: SharedArrayStore) -> bytes:
+    """Pickle ``obj`` with every eligible array diverted into ``store``.
+
+    The returned blob holds only descriptors where the arrays were; pair it
+    with the sealed store's block and a plain :func:`pickle.loads` on the
+    other side rebuilds the object graph around zero-copy views.
+    """
+    buffer = io.BytesIO()
+    _SharedPickler(buffer, store).dump(obj)
+    return buffer.getvalue()
+
+
+@dataclass(frozen=True)
+class SharedPayload:
+    """A request shipped by block: one per shard batch, shared by its shards."""
+
+    #: Block holding the arrays *and* the pickle blob itself.
+    name: str
+    #: Descriptor of the blob bytes inside the block.
+    blob: ShmArrayRef
+
+
+@dataclass(frozen=True)
+class SharedOutcome:
+    """A response shipped by block: the blob crosses the pipe, arrays don't."""
+
+    #: Response block holding the result's arrays.
+    name: str
+    #: Pickle blob of the result with descriptors in place of arrays.
+    blob: bytes
+
+
+def pack_request(payload: Any) -> tuple[SharedPayload, SharedArrayStore]:
+    """Pack a whole request payload — blob and arrays — into one block.
+
+    Returns the wire message plus the sealed store; the caller owns the
+    store's lifetime and unlinks it once the batch has completed.
+    """
+    store = SharedArrayStore()
+    blob = dumps_shared(payload, store)
+    blob_ref = store.add(np.frombuffer(blob, dtype=np.uint8))
+    store.seal()
+    return SharedPayload(name=store.name, blob=blob_ref), store
+
+
+def load_request(request: SharedPayload) -> Any:
+    """Unpack a request payload, cached per block name (worker side)."""
+    global _request_cache
+    if _request_cache is not None and _request_cache[0] == request.name:
+        return _request_cache[1]
+    payload = pickle.loads(attach_array(request.blob))
+    _request_cache = (request.name, payload)
+    return payload
+
+
+def pack_shared(result: Any, block_name: str) -> Any:
+    """Offload ``result``'s arrays into a response block (worker side).
+
+    Returns a :class:`SharedOutcome` when at least one array was diverted;
+    otherwise — array-free results, or a block that cannot be created (for
+    example ``/dev/shm`` exhaustion) — the plain result, which travels the
+    ordinary pickle path.  The worker's own mapping is closed before
+    returning; the block lives on until the coordinator unlinks it.
+    """
+    store = SharedArrayStore(name=block_name)
+    try:
+        blob = dumps_shared(result, store)
+        if store.n_arrays == 0:
+            return result
+        store.seal()
+    except (OSError, ValueError):  # pragma: no cover - environment-dependent
+        return result
+    finally:
+        store.close()
+    return SharedOutcome(name=block_name, blob=blob)
+
+
+def load_shared(outcome: SharedOutcome) -> Any:
+    """Resolve a worker's response block and unlink it (coordinator side)."""
+    try:
+        return pickle.loads(outcome.blob)
+    finally:
+        cleanup_blocks([outcome.name])
+
+
+def cleanup_blocks(names) -> None:
+    """Best-effort unlink of blocks that may or may not (still) exist.
+
+    The coordinator's safety net for every non-happy path: worker crashes
+    (response blocks the worker created but nobody consumed),
+    ``KeyboardInterrupt`` mid-batch, and double cleanup (a name that was
+    already consumed simply no longer resolves).  Also the happy-path unlink
+    of consumed response blocks: their handles stay in the attach cache —
+    and therefore mapped — because live views may still point into them (see
+    ``_attached``); unlinking only removes the name, and the memory is freed
+    when the process exits.  Blocks this process never attached are mapped
+    just long enough to unlink and closed again.
+    """
+    if _shared_memory is None:  # pragma: no cover - nothing can exist
+        return
+    for name in names:
+        if name is None:
+            continue
+        shm = _attached.get(name)
+        transient = shm is None
+        if transient:
+            try:
+                shm = _shared_memory.SharedMemory(name=name)
+            except (FileNotFoundError, OSError, ValueError):
+                continue
+        try:
+            shm.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover - raced
+            pass
+        if transient:
+            shm.close()

@@ -34,3 +34,13 @@ class SymbolizationError(DataError):
 
 class MiningError(ReproError):
     """Raised when the mining process itself encounters an inconsistent state."""
+
+
+class RepresentationOverflowError(MiningError):
+    """Raised when occurrence evidence no longer fits its storage dtype.
+
+    The columnar occurrence store indexes instance lists with ``int32``
+    (see :class:`repro.core.hpg.PatternEntry`); an instance-list position
+    beyond ``2**31 - 1`` would silently wrap into a negative index and
+    materialise the *wrong* instance.  Insertion raises this instead.
+    """

@@ -24,7 +24,9 @@ could not honour a later append.
 
 from __future__ import annotations
 
+import os
 import pickle
+import tempfile
 from pathlib import Path
 
 from ..core.hpg import HierarchicalPatternGraph
@@ -60,7 +62,14 @@ READABLE_VERSIONS = (2, FORMAT_VERSION)
 
 
 def write_session(session: MiningSession, path: str | Path) -> Path:
-    """Snapshot a mined, appendable session to ``path``."""
+    """Snapshot a mined, appendable session to ``path``.
+
+    The write is atomic: the payload goes to a temporary file in the same
+    directory, is flushed and fsynced, and only then renamed over ``path``
+    via :func:`os.replace`.  A crash (or a pickling failure) mid-write
+    therefore never truncates or corrupts an existing session file — the
+    production loop's previous snapshot survives intact.
+    """
     if session.graph is None:
         raise MiningError("cannot save a session before mine() has populated it")
     if not session.retain_occurrences:
@@ -85,8 +94,21 @@ def write_session(session: MiningSession, path: str | Path) -> Path:
         "appends": session.appends,
     }
     path = Path(path)
-    with path.open("wb") as handle:
-        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except FileNotFoundError:
+            pass
+        raise
     return path
 
 

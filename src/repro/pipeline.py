@@ -153,7 +153,9 @@ class FTPMfTS:
                 "incremental sessions require the exact miner (approximate=False)"
             )
         expected = session.config.with_engine(
-            self.mining_config.engine, self.mining_config.n_workers
+            self.mining_config.engine,
+            self.mining_config.n_workers,
+            self.mining_config.shared_memory,
         )
         if expected != self.mining_config:
             raise ConfigurationError(

@@ -223,6 +223,63 @@ class TestIndexStore:
         assert checked > 0
 
 
+class TestOverflowGuard:
+    """Insertions past the int32 index ceiling must raise, never wrap.
+
+    ``np.astype(int32)`` wraps silently, so without the guard an instance
+    list longer than ``2**31 - 1`` would corrupt the store in place.  The
+    boundary is exercised by shrinking the mocked ceiling — allocating real
+    2-billion-row inputs is obviously off the table.
+    """
+
+    def test_error_is_exported_and_a_mining_error(self):
+        from repro import MiningError, RepresentationOverflowError
+
+        assert issubclass(RepresentationOverflowError, MiningError)
+
+    def test_block_insert_past_the_ceiling_raises(self, monkeypatch):
+        import repro.core.hpg as hpg_module
+        from repro import RepresentationOverflowError
+
+        monkeypatch.setattr(hpg_module, "_INDEX_MAX", 100)
+        entry = PatternEntry(pattern=_pattern(2))
+        entry.add_index_block(0, np.array([[0, 1], [2, 3]], dtype=np.int64))
+        with pytest.raises(RepresentationOverflowError, match="does not fit"):
+            entry.add_index_block(1, np.array([[0, 101]], dtype=np.int64))
+
+    def test_scalar_rows_past_the_ceiling_raise_on_consolidation(self, monkeypatch):
+        import repro.core.hpg as hpg_module
+        from repro import RepresentationOverflowError
+
+        monkeypatch.setattr(hpg_module, "_INDEX_MAX", 100)
+        entry = PatternEntry(pattern=_pattern(2))
+        entry.add_index_row(0, (0, 101))
+        with pytest.raises(RepresentationOverflowError, match="does not fit"):
+            entry.index_matrix(0)
+
+    def test_true_int32_boundary(self):
+        from repro import RepresentationOverflowError
+
+        limit = 2**31 - 1
+        entry = PatternEntry(pattern=_pattern(2))
+        entry.add_index_block(0, np.array([[0, limit]], dtype=np.int64))
+        assert entry.index_matrix(0).dtype == np.int32
+        assert int(entry.index_matrix(0)[0, 1]) == limit
+        with pytest.raises(RepresentationOverflowError):
+            entry.add_index_block(1, np.array([[0, limit + 1]], dtype=np.int64))
+
+    def test_in_range_blocks_are_unaffected(self, monkeypatch):
+        import repro.core.hpg as hpg_module
+
+        monkeypatch.setattr(hpg_module, "_INDEX_MAX", 100)
+        entry = PatternEntry(pattern=_pattern(2))
+        entry.add_index_row(0, (99, 100))
+        entry.add_index_block(1, np.array([[7, 8]], dtype=np.int64))
+        assert entry.index_matrix(0).tolist() == [[99, 100]]
+        assert entry.index_matrix(1).tolist() == [[7, 8]]
+        assert entry.index_matrix(0).dtype == np.int32
+
+
 class TestKernelChunking:
     def test_anchor_chunks_cover_everything_in_order(self):
         lo = np.array([0, 0, 2, 5, 5], dtype=np.intp)

@@ -324,6 +324,111 @@ class TestColumnarStoreParity:
         assert store_snapshot(session.graph) == store_snapshot(scratch.graph)
 
 
+@pytest.fixture(scope="module")
+def shared_backend():
+    """A shm-transport pool shared by the module, forced into real sharding."""
+    with ProcessPoolBackend(
+        n_workers=2, min_candidates_per_worker=1, shared_memory=True
+    ) as backend:
+        yield backend
+
+
+class TestSharedMemoryParity:
+    """The zero-copy transport is semantically invisible: the mined result
+    *and* the columnar occurrence store are byte-identical to a serial run,
+    across every pruning mode, on scalar as well as vectorized configs, from
+    scratch as well as through an append, and on the spawn start method
+    (whose workers unpack the request from one block per batch instead of
+    inheriting it through fork copy-on-write)."""
+
+    CONFIG = MiningConfig(min_support=0.3, min_confidence=0.3, min_overlap=1.0)
+
+    @pytest.mark.parametrize("pruning", list(PruningMode))
+    @pytest.mark.parametrize("allow_self", [True, False])
+    def test_all_pruning_modes_and_self_relations(
+        self, pruning, allow_self, shared_backend
+    ):
+        database = random_database(seed=7, n_sequences=8)
+        config = MiningConfig(
+            min_support=0.25,
+            min_confidence=0.25,
+            min_overlap=1.0,
+            pruning=pruning,
+            allow_self_relations=allow_self,
+        )
+        serial = HTPGM(config, backend=SerialBackend()).mine(database)
+        parallel = HTPGM(config, backend=shared_backend).mine(database)
+        assert_parity(serial, parallel)
+
+    def test_paper_database(self, paper_sequence_db, default_config, shared_backend):
+        serial = HTPGM(default_config, backend=SerialBackend()).mine(paper_sequence_db)
+        parallel = HTPGM(default_config, backend=shared_backend).mine(paper_sequence_db)
+        assert_parity(serial, parallel)
+
+    def test_scalar_config_through_shared_memory(self, shared_backend):
+        database = random_database(seed=19, n_sequences=8)
+        config = self.CONFIG.with_vectorized(False)
+        serial = HTPGM(config, backend=SerialBackend()).mine(database)
+        parallel = HTPGM(config, backend=shared_backend).mine(database)
+        assert_parity(serial, parallel)
+
+    def test_builds_the_identical_store(self, shared_backend):
+        from repro import MiningSession
+
+        database = random_database(seed=23, n_sequences=10, max_instances=14)
+        serial = MiningSession(self.CONFIG)
+        serial.mine(database)
+        shared = MiningSession(self.CONFIG)
+        shared.mine(database, backend=shared_backend)
+        assert store_snapshot(serial.graph) == store_snapshot(shared.graph)
+        for (_, _, serial_entry), (_, _, shared_entry) in zip(
+            serial.graph.iter_pattern_entries(),
+            shared.graph.iter_pattern_entries(),
+        ):
+            assert serial_entry.occurrences == shared_entry.occurrences
+
+    def test_append_builds_the_scratch_store(self, shared_backend):
+        from repro import MiningSession
+
+        database = random_database(seed=41, n_sequences=14, max_instances=14)
+        base = SequenceDatabase(database.sequences[:10])
+        delta = [
+            TemporalSequence(index, list(sequence.instances))
+            for index, sequence in enumerate(database.sequences[10:])
+        ]
+        session = MiningSession(self.CONFIG)
+        session.mine(base, backend=shared_backend)
+        appended = session.append(delta, backend=shared_backend)
+        scratch = MiningSession(self.CONFIG)
+        scratch.mine(database)
+        assert mined_tuples(appended) == mined_tuples(HTPGM(self.CONFIG).mine(database))
+        assert store_snapshot(session.graph) == store_snapshot(scratch.graph)
+
+    def test_spawn_start_method_parity(self):
+        """The pooled request-block transport (no fork inheritance) agrees too."""
+        database = random_database(seed=7, n_sequences=8)
+        serial = HTPGM(self.CONFIG, backend=SerialBackend()).mine(database)
+        with ProcessPoolBackend(
+            n_workers=2,
+            min_candidates_per_worker=1,
+            shared_memory=True,
+            start_method="spawn",
+        ) as backend:
+            parallel = HTPGM(self.CONFIG, backend=backend).mine(database)
+        assert_parity(serial, parallel)
+
+    def test_plain_spawn_parity(self):
+        """start_method="spawn" without shared memory: the per-shard pickle
+        transport on a persistent pool is equally transparent."""
+        database = random_database(seed=7, n_sequences=8)
+        serial = HTPGM(self.CONFIG, backend=SerialBackend()).mine(database)
+        with ProcessPoolBackend(
+            n_workers=2, min_candidates_per_worker=1, start_method="spawn"
+        ) as backend:
+            parallel = HTPGM(self.CONFIG, backend=backend).mine(database)
+        assert_parity(serial, parallel)
+
+
 class TestCostBalancedSharding:
     """The greedy LPT splitter and its count-balanced fallback."""
 
@@ -696,6 +801,17 @@ class TestBackendBehaviour:
         config = MiningConfig().with_engine("process", 4)
         assert config.engine == "process"
         assert config.n_workers == 4
+        assert config.shared_memory is False
         back = config.with_engine("serial")
         assert back.engine == "serial"
         assert back.n_workers is None
+
+    def test_with_engine_threads_shared_memory(self):
+        config = MiningConfig().with_engine("process", 4, shared_memory=True)
+        assert config.shared_memory is True
+        assert config.with_engine("serial").shared_memory is False
+        resolved = backend_from_config(config)
+        try:
+            assert resolved.shared_memory is True
+        finally:
+            resolved.close()

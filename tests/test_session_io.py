@@ -236,3 +236,60 @@ class TestGuards:
         path.write_bytes(pickle.dumps(payload))
         with pytest.raises(DataError, match="occurrence evidence inconsistent"):
             read_session(path)
+
+
+class TestAtomicWrite:
+    """write_session must never corrupt an existing snapshot mid-write: the
+    payload goes to a same-directory temp file, is fsynced, and replaces the
+    destination atomically via os.replace."""
+
+    def test_failure_mid_write_leaves_the_previous_file_intact(
+        self, mined_session, tmp_path, monkeypatch
+    ):
+        import repro.io.session_io as session_io_module
+
+        path = write_session(mined_session, tmp_path / "state.bin")
+        original_bytes = path.read_bytes()
+
+        def exploding_dump(payload, handle, protocol=None):
+            handle.write(b"half a payload")
+            raise OSError("disk full")
+
+        monkeypatch.setattr(session_io_module.pickle, "dump", exploding_dump)
+        with pytest.raises(OSError, match="disk full"):
+            write_session(mined_session, path)
+        assert path.read_bytes() == original_bytes
+        read_session(path)  # still a loadable snapshot
+        assert list(tmp_path.iterdir()) == [path]  # temp file cleaned up
+
+    def test_failure_on_a_fresh_path_leaves_nothing_behind(
+        self, mined_session, tmp_path, monkeypatch
+    ):
+        import repro.io.session_io as session_io_module
+
+        def exploding_dump(payload, handle, protocol=None):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(session_io_module.pickle, "dump", exploding_dump)
+        with pytest.raises(RuntimeError, match="boom"):
+            write_session(mined_session, tmp_path / "state.bin")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_successful_write_leaves_only_the_destination(
+        self, mined_session, tmp_path
+    ):
+        path = write_session(mined_session, tmp_path / "state.bin")
+        assert list(tmp_path.iterdir()) == [path]
+        loaded = read_session(path)
+        assert loaded.n_sequences == mined_session.n_sequences
+
+    def test_overwrite_is_a_replace_not_a_truncate_then_write(
+        self, mined_session, tmp_path
+    ):
+        path = write_session(mined_session, tmp_path / "state.bin")
+        first_stat = path.stat()
+        write_session(mined_session, path)
+        # A rename-over gives the destination a fresh inode; a truncating
+        # open would have kept it.
+        assert path.stat().st_ino != first_stat.st_ino
+        read_session(path)
