@@ -58,6 +58,7 @@ from .core import (
     ProcessPoolBackend,
     PruningMode,
     Relation,
+    RetryPolicy,
     SerialBackend,
     TemporalPattern,
     build_correlation_graph,
@@ -71,6 +72,7 @@ from .exceptions import (
     MiningError,
     RepresentationOverflowError,
     ReproError,
+    SessionFormatError,
     SymbolizationError,
 )
 from .pipeline import FTPMfTS, mine_time_series
@@ -102,6 +104,7 @@ __all__ = [
     "MiningSession",
     "MiningConfig",
     "PruningMode",
+    "RetryPolicy",
     "MiningResult",
     "MinedPattern",
     "MiningStatistics",
@@ -136,5 +139,6 @@ __all__ = [
     "DataError",
     "SymbolizationError",
     "MiningError",
+    "SessionFormatError",
     "RepresentationOverflowError",
 ]

@@ -28,10 +28,10 @@ import argparse
 import sys
 from collections.abc import Sequence
 
-from .core.config import MiningConfig
+from .core.config import MiningConfig, RetryPolicy
 from .datasets import available_datasets, make_dataset
 from .evaluation import ExperimentRunner, format_table
-from .exceptions import ReproError
+from .exceptions import MiningError, ReproError
 from .io import (
     read_session,
     read_time_series_csv,
@@ -133,6 +133,44 @@ def build_parser() -> argparse.ArgumentParser:
             "the result is identical to re-mining everything from scratch"
         ),
     )
+    mine.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        help=(
+            "snapshot the mining state to FILE (atomically) after every "
+            "completed level, so an interrupted run can be continued with "
+            "--resume; exact miner only"
+        ),
+    )
+    mine.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "continue an interrupted --checkpoint run from its last "
+            "completed level (pass the same --input and mining parameters "
+            "as the interrupted invocation); the final result is identical "
+            "to a never-interrupted run"
+        ),
+    )
+    mine.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help=(
+            "how many times a crashed/hung/failed --parallel shard is "
+            "resubmitted before the run fails (default 2; retries never "
+            "change the mined patterns)"
+        ),
+    )
+    mine.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        help=(
+            "wall-clock budget in seconds for one --parallel shard attempt; "
+            "a shard exceeding it is killed and retried (default: no timeout)"
+        ),
+    )
     mine.add_argument("--top", type=int, default=10, help="number of patterns to print")
 
     evaluate = subparsers.add_parser(
@@ -203,10 +241,28 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.approximate and (args.session or args.append):
+    if args.max_retries is not None and not args.parallel:
+        print("error: --max-retries requires --parallel", file=sys.stderr)
+        return 2
+    if args.shard_timeout is not None and not args.parallel:
+        print("error: --shard-timeout requires --parallel", file=sys.stderr)
+        return 2
+    if args.approximate and (args.session or args.append or args.checkpoint):
         print(
-            "error: --session/--append require the exact miner "
+            "error: --session/--append/--checkpoint require the exact miner "
             "(drop --approximate)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint", file=sys.stderr)
+        return 2
+    if args.resume and args.append:
+        print("error: --resume and --append are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.checkpoint and args.append:
+        print(
+            "error: --checkpoint applies to full mining runs, not --append",
             file=sys.stderr,
         )
         return 2
@@ -250,12 +306,22 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         session = read_session(args.session)
         series_set = read_time_series_csv(args.append)
         n_before = session.n_sequences
+        append_config = session.config.with_engine(
+            engine, args.workers, args.shared_memory
+        )
+        if args.max_retries is not None or args.shard_timeout is not None:
+            append_config = append_config.with_retry(
+                RetryPolicy(
+                    max_retries=(
+                        2 if args.max_retries is None else args.max_retries
+                    ),
+                    shard_timeout=args.shard_timeout,
+                )
+            )
         process = FTPMfTS(
             split_config=SplitConfig(window_length=args.window, overlap=args.overlap),
             symbolizers=_symbolizer_from_args(args),
-            mining_config=session.config.with_engine(
-                engine, args.workers, args.shared_memory
-            ),
+            mining_config=append_config,
         )
         result = process.mine_incremental(series_set, session)
         write_session(session, args.session)
@@ -268,6 +334,10 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         if args.approximate and args.mi_threshold is None and args.density is None:
             # Sensible default matching the paper's recommendation of a dense graph.
             args.density = 0.6
+        retry = RetryPolicy(
+            max_retries=2 if args.max_retries is None else args.max_retries,
+            shard_timeout=args.shard_timeout,
+        )
         config = MiningConfig(
             min_support=0.5 if args.support is None else args.support,
             min_confidence=0.5 if args.confidence is None else args.confidence,
@@ -278,6 +348,8 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             engine=engine,
             n_workers=args.workers,
             shared_memory=args.shared_memory,
+            retry=retry,
+            checkpoint_path=args.checkpoint,
         )
         process = FTPMfTS(
             split_config=SplitConfig(window_length=args.window, overlap=args.overlap),
@@ -287,14 +359,54 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             mi_threshold=args.mi_threshold,
             graph_density=args.density,
         )
-        session = process.create_session() if args.session else None
-        result = process.mine(series_set, session=session)
-        if session is not None:
+        if args.resume:
+            session = read_session(args.checkpoint)
+            mismatched = [
+                flag
+                for flag, value, current in (
+                    ("--support", args.support, session.config.min_support),
+                    ("--confidence", args.confidence, session.config.min_confidence),
+                    ("--epsilon", args.epsilon, session.config.epsilon),
+                    ("--min-overlap", args.min_overlap, session.config.min_overlap),
+                    ("--tmax", args.tmax, session.config.tmax),
+                    ("--max-size", args.max_size, session.config.max_pattern_size),
+                )
+                if value is not None and value != current
+            ]
+            if mismatched:
+                print(
+                    f"error: {', '.join(mismatched)} differ from the "
+                    "checkpointed run; mining parameters cannot change on "
+                    "--resume (omit them to take the checkpoint's values)",
+                    file=sys.stderr,
+                )
+                return 2
+            # Execution details (engine, retry, checkpoint target) follow
+            # *this* invocation; everything that shapes the pattern set
+            # stays what the interrupted run used.
+            session.config = session.config.adopt_execution(config)
+            _, sequence_db = process.transform(series_set)
+            result = session.resume(sequence_db)
+            print(
+                f"resumed checkpointed run from {args.checkpoint} "
+                f"({session.n_sequences} sequences)"
+            )
+        else:
+            session = (
+                process.create_session()
+                if args.session or args.checkpoint
+                else None
+            )
+            result = process.mine(series_set, session=session)
+        if session is not None and args.session:
             write_session(session, args.session)
             print(
                 f"saved mining session ({session.n_sequences} sequences) "
                 f"to {args.session}"
             )
+
+    for warning in result.statistics.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
 
     if args.output.endswith(".csv"):
         path = write_patterns_csv(result, args.output)
@@ -359,6 +471,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     }
     try:
         return handlers[args.command](args)
+    except MiningError as error:
+        # Runtime mining failures (exhausted retries, corrupt session files,
+        # inconsistent state) — distinct from usage problems, which exit 2.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

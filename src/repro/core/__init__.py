@@ -10,7 +10,8 @@ in-process (``SerialBackend``) or sharded across worker processes
 
 from .approximate import AHTPGM
 from .bitmap import Bitmap
-from .config import MiningConfig, PruningMode
+from .config import MiningConfig, PruningMode, RetryPolicy
+from .faults import FaultPlan, FaultSpec, install_plan
 from .engine import (
     ExecutionBackend,
     ProcessPoolBackend,
@@ -57,6 +58,10 @@ from .stats import MiningStatistics
 __all__ = [
     "MiningConfig",
     "PruningMode",
+    "RetryPolicy",
+    "FaultPlan",
+    "FaultSpec",
+    "install_plan",
     "EventKey",
     "TemporalEvent",
     "collect_events",

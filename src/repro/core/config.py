@@ -16,7 +16,7 @@ from enum import Enum
 
 from ..exceptions import ConfigurationError
 
-__all__ = ["PruningMode", "MiningConfig"]
+__all__ = ["PruningMode", "RetryPolicy", "MiningConfig"]
 
 
 class PruningMode(str, Enum):
@@ -52,6 +52,84 @@ class PruningMode(str, Enum):
     def uses_transitivity(self) -> bool:
         """True when transitivity-based filtering is active."""
         return self in (PruningMode.TRANSITIVITY, PruningMode.ALL)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Fault-tolerance knobs of the process engine's shard execution.
+
+    Shards are pure functions of ``(context, candidates)``, so resubmitting a
+    failed shard is idempotent: the retried evaluation produces byte-identical
+    nodes and counters, and the merged pattern set cannot change.  The policy
+    only decides *how often* and *how patiently* the coordinator retries.
+
+    Parameters
+    ----------
+    max_retries:
+        How many times one shard may be resubmitted after its first failed
+        attempt (0 disables retrying).  A shard still failing after
+        ``max_retries`` resubmissions propagates its last error.
+    backoff_seconds:
+        Delay before the first retry round; each further round multiplies it
+        by ``backoff_multiplier``.
+    backoff_multiplier:
+        Exponential growth factor of the backoff delay.
+    shard_timeout:
+        Wall-clock budget in seconds for one shard attempt; a shard still
+        running past it is killed (the worker pool is torn down and rebuilt)
+        and the shard is retried.  ``None`` (the default) never times out.
+
+    The backoff jitter is *deterministic*: it is derived from the retry round
+    and the mining level, never from a random source, so a retried run is
+    reproducible down to its sleep pattern.
+    """
+
+    max_retries: int = 2
+    backoff_seconds: float = 0.05
+    backoff_multiplier: float = 2.0
+    shard_timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_seconds < 0:
+            raise ConfigurationError(
+                f"backoff_seconds must be >= 0, got {self.backoff_seconds}"
+            )
+        if self.backoff_multiplier < 1:
+            raise ConfigurationError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ConfigurationError(
+                f"shard_timeout must be positive or None, got {self.shard_timeout}"
+            )
+
+    def delay(self, round_index: int, seed: int = 0) -> float:
+        """Backoff before retry round ``round_index`` (0-based), with jitter.
+
+        The jitter spreads retries of concurrent runs apart without
+        sacrificing determinism: it is a pure hash of ``(round_index, seed)``
+        in ``[0, base / 4)``, so the same run always sleeps the same amount.
+        """
+        base = self.backoff_seconds * self.backoff_multiplier**round_index
+        jitter_bucket = (round_index * 2654435761 + seed * 40503 + 12582917) % 1024
+        return base * (1.0 + 0.25 * jitter_bucket / 1024.0)
+
+
+#: Execution details a resumed/appended session adopts from the driving
+#: pipeline instead of inheriting from the session file: which backend runs
+#: the candidates, and how it retries/checkpoints.  None of these can change
+#: the mined pattern set.
+_EXECUTION_FIELDS = (
+    "engine",
+    "n_workers",
+    "shared_memory",
+    "retry",
+    "checkpoint_path",
+)
 
 
 @dataclass(frozen=True)
@@ -131,6 +209,19 @@ class MiningConfig:
         where a single (occurrence-block × instance-block) product can
         otherwise allocate gigabytes.  ``None`` disables chunking; the
         default is 64 MiB.
+    retry:
+        Fault-tolerance policy of the ``"process"`` engine (see
+        :class:`RetryPolicy`): how often a crashed, hung or failed shard is
+        resubmitted and with what backoff/timeout.  Pure execution detail —
+        retried shards are idempotent, so the mined pattern set is identical
+        whether or not anything was retried.  Ignored by the serial engine.
+    checkpoint_path:
+        When set, an appendable :class:`~repro.core.session.MiningSession`
+        atomically snapshots its state to this file after every completed
+        mining level, so an interrupted run can be resumed at the last
+        finished level (:meth:`~repro.core.session.MiningSession.resume`)
+        with identical final results.  ``None`` (the default) disables
+        checkpointing.  Requires a session with retained occurrences.
     """
 
     min_support: float = 0.5
@@ -147,6 +238,8 @@ class MiningConfig:
     vectorized: bool = True
     kernel_min_pairs: int | None = None
     kernel_chunk_bytes: int | None = 64 * 1024 * 1024
+    retry: RetryPolicy = RetryPolicy()
+    checkpoint_path: str | None = None
 
     def __post_init__(self) -> None:
         if not 0 < self.min_support <= 1:
@@ -194,6 +287,12 @@ class MiningConfig:
                 "kernel_chunk_bytes must be >= 1 or None, "
                 f"got {self.kernel_chunk_bytes}"
             )
+        if not isinstance(self.retry, RetryPolicy):
+            raise ConfigurationError(
+                f"retry must be a RetryPolicy, got {type(self.retry).__name__}"
+            )
+        if self.checkpoint_path is not None and not str(self.checkpoint_path):
+            raise ConfigurationError("checkpoint_path must be a non-empty path or None")
 
     # ------------------------------------------------------------------ helpers
     def support_count(self, n_sequences: int) -> int:
@@ -226,6 +325,24 @@ class MiningConfig:
         """
         return replace(
             self, engine=engine, n_workers=n_workers, shared_memory=shared_memory
+        )
+
+    def with_retry(self, retry: RetryPolicy) -> "MiningConfig":
+        """Copy of this configuration with a different fault-tolerance policy."""
+        return replace(self, retry=retry)
+
+    def adopt_execution(self, other: "MiningConfig") -> "MiningConfig":
+        """Copy of this configuration with ``other``'s execution details.
+
+        Adopts every field in ``_EXECUTION_FIELDS`` — backend, worker count,
+        transport, retry policy, checkpoint path — while keeping the mining
+        parameters (thresholds, pruning, kernel routing) of ``self``.  This is
+        how an appended or resumed session follows the *current* run's
+        execution environment without being able to drift on anything that
+        could change the mined pattern set.
+        """
+        return replace(
+            self, **{name: getattr(other, name) for name in _EXECUTION_FIELDS}
         )
 
     def with_vectorized(self, vectorized: bool) -> "MiningConfig":

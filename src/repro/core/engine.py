@@ -84,22 +84,25 @@ enforce that invariant.  Backends are selected through
 from __future__ import annotations
 
 import heapq
+import math
 import multiprocessing
 import os
+import pickle
 import time
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Any, Protocol, TypeVar, runtime_checkable
 
 import numpy as np
 
-from ..exceptions import ConfigurationError
+from ..exceptions import ConfigurationError, MiningError
 from ..timeseries.sequences import EventInstance
-from . import shm
+from . import faults, shm
 from .bitmap import Bitmap
-from .config import MiningConfig
+from .config import MiningConfig, RetryPolicy
 from .events import EventKey
 from .hpg import CombinationNode, EventNode, Occurrence, PatternEntry
 from .patterns import TemporalPattern
@@ -1331,18 +1334,37 @@ def _evaluate_level_shard(
 _FORK_PAYLOAD: tuple[Callable[[Any, list], Any], Any] | None = None
 
 
-def _call_forked(items: list) -> Any:
+def _call_forked(
+    items: list, directive: tuple[str, float] | None = None
+) -> Any:
     """Worker entry point when func and payload were inherited at fork time."""
     assert _FORK_PAYLOAD is not None, "fork worker started without a payload"
     func, payload = _FORK_PAYLOAD
+    faults.apply_worker_fault(directive)
     return func(payload, items)
 
 
-def _call_forked_shared(items: list, response_name: str) -> Any:
+def _call_forked_shared(
+    items: list, response_name: str, directive: tuple[str, float] | None = None
+) -> Any:
     """Fork worker entry point returning its result through a shared block."""
     assert _FORK_PAYLOAD is not None, "fork worker started without a payload"
     func, payload = _FORK_PAYLOAD
-    return shm.pack_shared(func(payload, items), response_name)
+    fail_shm = faults.apply_worker_fault(directive)
+    return shm.pack_shared(
+        func(payload, items), response_name, fail_injected=fail_shm
+    )
+
+
+def _call_plain(
+    func: Callable[[Any, list], Any],
+    payload: Any,
+    items: list,
+    directive: tuple[str, float] | None = None,
+) -> Any:
+    """Pool worker entry point on the pickle transport."""
+    faults.apply_worker_fault(directive)
+    return func(payload, items)
 
 
 def _call_pooled_shared(
@@ -1350,6 +1372,7 @@ def _call_pooled_shared(
     request: "shm.SharedPayload",
     items: list,
     response_name: str,
+    directive: tuple[str, float] | None = None,
 ) -> Any:
     """Pool worker entry point with both directions over shared memory.
 
@@ -1357,13 +1380,33 @@ def _call_pooled_shared(
     shards unpickle the context once per worker); the result's arrays go back
     through the pre-named response block.
     """
+    fail_shm = faults.apply_worker_fault(directive)
     payload = shm.load_request(request)
-    return shm.pack_shared(func(payload, items), response_name)
+    return shm.pack_shared(
+        func(payload, items), response_name, fail_injected=fail_shm
+    )
 
 
 def _fork_available() -> bool:
     """Whether copy-on-write worker processes are supported (Linux/macOS)."""
     return "fork" in multiprocessing.get_all_start_methods()
+
+
+class _PoolUnavailable(Exception):
+    """Internal: a worker pool could not be obtained (resource exhaustion).
+
+    Raised by the executor helpers and caught by :meth:`_run_shards`, which
+    degrades the backend to in-process evaluation instead of failing the
+    mining run.  Never escapes the backend.
+    """
+
+
+#: Transport failures tolerated before the zero-copy path is abandoned for
+#: the remainder of the run.  Two strikes: one failure may be a transient
+#: spike in ``/dev/shm`` usage, repeated failures mean the environment
+#: cannot sustain the transport and every further attempt just burns a
+#: retry round.
+_SHM_FAILURE_LIMIT = 2
 
 
 class ProcessPoolBackend:
@@ -1429,6 +1472,8 @@ class ProcessPoolBackend:
         shards_per_worker: int = 1,
         shared_memory: bool = False,
         start_method: str | None = None,
+        retry: RetryPolicy | None = None,
+        fault_plan: "faults.FaultPlan | None" = None,
     ) -> None:
         if n_workers is not None and n_workers < 1:
             raise ConfigurationError(
@@ -1465,6 +1510,19 @@ class ProcessPoolBackend:
         )
         #: Only a cost-balancing backend can use the miner's estimates.
         self.wants_costs = cost_balanced
+        #: How crashed/hung/failed shards are resubmitted (see
+        #: :class:`~repro.core.config.RetryPolicy`).
+        self.retry = retry if retry is not None else RetryPolicy()
+        #: Degradation warnings recorded by this backend; the miner copies
+        #: them into :class:`MiningStatistics` after every batch.
+        self.warnings: list[str] = []
+        #: Captured once so ``times=N`` fault budgets survive across rounds.
+        self._fault_plan = (
+            fault_plan if fault_plan is not None else faults.active_plan()
+        )
+        self._shm_failures = 0
+        self._serial_degraded = False
+        self._level_retries: dict[int, int] = {}
         self._executor: ProcessPoolExecutor | None = None
 
     # ------------------------------------------------------------------ lifecycle
@@ -1510,13 +1568,33 @@ class ProcessPoolBackend:
             raise ConfigurationError(
                 f"got {len(costs)} cost estimates for {len(candidates)} candidates"
             )
+        level = context.level
+        retries_before = self._level_retries.get(level, 0)
         n_shards = self._shard_count(len(candidates))
         if n_shards <= 1:
-            return evaluate_candidates(context, candidates)
+            return self._stamp_stats(
+                evaluate_candidates(context, candidates), level, retries_before
+            )
         shard_indices = self._shard_indices(n_shards, costs, len(candidates))
         shards = [[candidates[i] for i in indices] for indices in shard_indices]
-        outcomes = self._run_shards(_evaluate_level_shard, context, shards)
-        return _merge_indexed_outcomes(shard_indices, shards, outcomes)
+        outcomes = self._run_shards(
+            _evaluate_level_shard, context, shards, level=level
+        )
+        outcome = _merge_indexed_outcomes(shard_indices, shards, outcomes)
+        return self._stamp_stats(outcome, level, retries_before)
+
+    def _stamp_stats(
+        self, outcome: LevelOutcome, level: int, retries_before: int
+    ) -> LevelOutcome:
+        """Record this batch's retries and any degradation warnings."""
+        delta = self._level_retries.get(level, 0) - retries_before
+        if delta:
+            outcome.stats.shard_retries[level] = (
+                outcome.stats.shard_retries.get(level, 0) + delta
+            )
+        for message in self.warnings:
+            outcome.stats.record_warning(message)
+        return outcome
 
     def map_shards(
         self,
@@ -1535,7 +1613,7 @@ class ProcessPoolBackend:
             return [func(payload, items)]
         shard_indices = self._shard_indices(n_shards, costs, len(items))
         shards = [[items[i] for i in indices] for indices in shard_indices]
-        return self._run_shards(func, payload, shards)
+        return self._run_shards(func, payload, shards, level=0)
 
     def _shard_count(self, n_items: int) -> int:
         return min(
@@ -1564,99 +1642,288 @@ class ProcessPoolBackend:
         func: Callable[[Any, list], _R],
         payload: Any,
         shards: list[list],
+        level: int = 0,
     ) -> list[_R]:
-        """Execute one shard batch over the configured transport."""
-        if self.start_method == "fork" or (
-            self.start_method is None and _fork_available()
-        ):
-            return self._run_forked(func, payload, shards)
-        return self._run_pooled(func, payload, shards)
+        """Execute one shard batch with retries over the configured transport.
 
-    def _response_names(self, n_shards: int) -> list[str | None] | None:
-        """Pre-generated response block names, one per shard (shm mode only).
-
-        Naming the blocks *before* any worker runs is what makes crash
-        cleanup deterministic: whatever a worker managed to create before
-        dying is unlinkable by name from the coordinator's ``finally``.
-        Consumed slots are overwritten with ``None`` as results arrive.
+        Shards are pure functions of ``(payload, shard_items)``, so the loop
+        below may resubmit any failed shard without affecting the others:
+        each retry *round* re-runs only the still-unfinished shards, with
+        fresh response blocks and a rebuilt pool where necessary, until every
+        shard has a result or one shard has exhausted
+        :attr:`RetryPolicy.max_retries` (whose last error then propagates).
+        A pool that cannot be obtained at all degrades the whole backend to
+        in-process evaluation instead — the results are identical, only the
+        parallelism is lost.
         """
-        if not self.shared_memory_active:
-            return None
-        return [shm.generate_block_name() for _ in range(n_shards)]
-
-    def _collect(
-        self, futures: list, response_names: list[str | None] | None
-    ) -> list:
-        """Gather future results, resolving shared responses as they land."""
-        results = []
-        for index, future in enumerate(futures):
-            result = future.result()
-            if isinstance(result, shm.SharedOutcome):
-                result = shm.load_shared(result)
-            if response_names is not None:
-                response_names[index] = None
-            results.append(result)
+        if self._serial_degraded:
+            return [func(payload, list(shard)) for shard in shards]
+        policy = self.retry
+        n_shards = len(shards)
+        results: list[Any] = [None] * n_shards
+        pending = list(range(n_shards))
+        attempts = dict.fromkeys(pending, 0)
+        round_index = 0
+        while pending:
+            try:
+                done, failed = self._run_round(func, payload, shards, pending, level)
+            except _PoolUnavailable as error:
+                self._degrade_to_serial(error)
+                for index in pending:
+                    results[index] = func(payload, list(shards[index]))
+                return results
+            for index, result in done.items():
+                results[index] = result
+            if not failed:
+                break
+            retry: list[int] = []
+            for index, error in failed:
+                attempts[index] += 1
+                if attempts[index] > policy.max_retries:
+                    if isinstance(error, TimeoutError):
+                        raise MiningError(
+                            f"shard {index} of level {level} exceeded its "
+                            f"{policy.shard_timeout}s timeout on all "
+                            f"{attempts[index]} attempts"
+                        ) from error
+                    raise error
+                retry.append(index)
+            self._level_retries[level] = (
+                self._level_retries.get(level, 0) + len(retry)
+            )
+            pending = sorted(retry)
+            delay = policy.delay(round_index, seed=level)
+            if delay > 0:
+                time.sleep(delay)
+            round_index += 1
         return results
 
-    def _run_forked(
-        self, func: Callable[[Any, list], _R], payload: Any, shards: list[list]
-    ) -> list[_R]:
-        """Fork a per-batch pool whose workers inherit the payload for free."""
-        global _FORK_PAYLOAD
-        _FORK_PAYLOAD = (func, payload)
-        response_names = self._response_names(len(shards))
-        try:
-            with ProcessPoolExecutor(
-                max_workers=min(len(shards), self.n_workers),
-                mp_context=multiprocessing.get_context("fork"),
-            ) as executor:
-                if response_names is None:
-                    futures = [
-                        executor.submit(_call_forked, shard) for shard in shards
-                    ]
-                else:
-                    futures = [
-                        executor.submit(_call_forked_shared, shard, name)
-                        for shard, name in zip(shards, response_names)
-                    ]
-                return self._collect(futures, response_names)
-        finally:
-            _FORK_PAYLOAD = None
-            if response_names is not None:
-                # Unconsumed response blocks (worker crash, KeyboardInterrupt,
-                # a failed resolve) — unlink whatever exists.
-                shm.cleanup_blocks(response_names)
+    # ------------------------------------------------------------- fault handling
+    def _warn(self, message: str) -> None:
+        if message not in self.warnings:
+            self.warnings.append(message)
 
-    def _run_pooled(
-        self, func: Callable[[Any, list], _R], payload: Any, shards: list[list]
-    ) -> list[_R]:
-        """Run on the persistent pool, payload per shard or via one block."""
-        executor = self._ensure_executor()
-        response_names = self._response_names(len(shards))
-        request_store = None
+    def _worker_fault(self, level: int, shard: int) -> tuple[str, float] | None:
+        """Directive for an armed worker fault at this coordinate, if any."""
+        if not self._fault_plan:
+            return None
+        return self._fault_plan.take(faults.WORKER_KINDS, level, shard)
+
+    def _note_shm_failure(self, detail: str) -> None:
+        """Count a zero-copy transport failure; disable it past the limit."""
+        self._shm_failures += 1
+        if self.shared_memory_active and self._shm_failures >= _SHM_FAILURE_LIMIT:
+            self.shared_memory_active = False
+            self._warn(
+                "shared-memory transport disabled after repeated failures "
+                f"(last: {detail}); using pickle transport for the "
+                "remainder of the run"
+            )
+
+    def _degrade_to_serial(self, error: BaseException) -> None:
+        """Give up on worker processes for the rest of this backend's life."""
+        self._serial_degraded = True
+        self._warn(
+            f"process pool unavailable ({error}); continuing with "
+            "in-process evaluation"
+        )
+
+    def _kill_executor(self, executor: ProcessPoolExecutor) -> None:
+        """Tear an executor down without waiting on its (possibly hung) workers.
+
+        ``shutdown(wait=True)`` on a pool with a hung or dying worker blocks
+        forever; terminate the workers first, then let shutdown reap the
+        corpses.  Also the only way to cancel a *running* shard (timeouts).
+        """
+        processes = list(getattr(executor, "_processes", {}).values())
+        for process in processes:
+            process.terminate()
+        for process in processes:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - stuck in the kernel
+                process.kill()
+        executor.shutdown(wait=True, cancel_futures=True)
+
+    # ------------------------------------------------------------------ one round
+    def _uses_fork(self) -> bool:
+        return self.start_method == "fork" or (
+            self.start_method is None and _fork_available()
+        )
+
+    def _round_executor(
+        self, n_tasks: int, level: int
+    ) -> tuple[ProcessPoolExecutor, bool]:
+        """Obtain this round's executor; ``(executor, ephemeral)``.
+
+        Raises :class:`_PoolUnavailable` when no pool can be built — real
+        resource exhaustion, or an injected ``pool`` fault.
+        """
+        injected = (
+            self._fault_plan.take(("pool",), level) if self._fault_plan else None
+        )
         try:
-            if response_names is not None:
-                request, request_store = shm.pack_request(payload)
-                futures = [
-                    executor.submit(_call_pooled_shared, func, request, shard, name)
-                    for shard, name in zip(shards, response_names)
-                ]
-            else:
-                futures = [
-                    executor.submit(func, payload, shard) for shard in shards
-                ]
-            return self._collect(futures, response_names)
+            if injected is not None:
+                raise OSError("injected pool construction failure")
+            if self._uses_fork():
+                return (
+                    ProcessPoolExecutor(
+                        max_workers=min(n_tasks, self.n_workers),
+                        mp_context=multiprocessing.get_context("fork"),
+                    ),
+                    True,
+                )
+            return self._ensure_executor(), False
+        except OSError as error:
+            raise _PoolUnavailable(error) from error
+
+    def _run_round(
+        self,
+        func: Callable[[Any, list], _R],
+        payload: Any,
+        shards: list[list],
+        pending: list[int],
+        level: int,
+    ) -> tuple[dict[int, _R], list[tuple[int, BaseException]]]:
+        """Submit every pending shard once; collect successes and failures.
+
+        Returns ``(done, failed)`` keyed/tagged by *global* shard index.
+        Failures are only the retryable kinds (worker death, timeout,
+        transport errors); anything else — a genuine evaluation bug —
+        propagates immediately.
+        """
+        global _FORK_PAYLOAD
+        executor, ephemeral = self._round_executor(len(pending), level)
+        use_shm = self.shared_memory_active
+        names: dict[int, str | None] | None = (
+            {index: shm.generate_block_name() for index in pending}
+            if use_shm
+            else None
+        )
+        request_store = None
+        teardown = False
+        if ephemeral:
+            _FORK_PAYLOAD = (func, payload)
+        try:
+            request = None
+            if not ephemeral and names is not None:
+                try:
+                    request, request_store = shm.pack_request(payload)
+                except (OSError, ValueError) as error:
+                    # The request block failed to allocate; fall back to
+                    # pickling the payload per shard for this round.
+                    self._note_shm_failure(f"request packing failed: {error}")
+                    shm.cleanup_blocks([n for n in names.values() if n])
+                    names = None
+            futures = {}
+            for index in pending:
+                directive = self._worker_fault(level, index)
+                if ephemeral and names is not None:
+                    future = executor.submit(
+                        _call_forked_shared, shards[index], names[index], directive
+                    )
+                elif ephemeral:
+                    future = executor.submit(_call_forked, shards[index], directive)
+                elif names is not None:
+                    future = executor.submit(
+                        _call_pooled_shared,
+                        func,
+                        request,
+                        shards[index],
+                        names[index],
+                        directive,
+                    )
+                else:
+                    future = executor.submit(
+                        _call_plain, func, payload, shards[index], directive
+                    )
+                futures[index] = future
+            done, failed, teardown = self._collect_round(futures, names)
+            return done, failed
         except BaseException:
-            # A worker crash leaves the persistent executor broken, an
-            # interrupt leaves futures queued on it — drop the pool either
-            # way instead of leaking it; the next run recreates one.
-            self.close()
+            teardown = True
             raise
         finally:
+            if ephemeral:
+                _FORK_PAYLOAD = None
+                if teardown:
+                    self._kill_executor(executor)
+                else:
+                    executor.shutdown(wait=True)
+            elif teardown:
+                # The persistent pool is broken or owns hung workers; kill it
+                # and let the next round (or run) build a fresh one.
+                self._executor = None
+                self._kill_executor(executor)
             if request_store is not None:
                 request_store.unlink()
-            if response_names is not None:
-                shm.cleanup_blocks(response_names)
+            if names is not None:
+                # Unconsumed response blocks (worker crash, timeout, interrupt,
+                # a failed resolve) — unlink whatever exists.  Safe only after
+                # the workers are gone, hence after the executor teardown.
+                shm.cleanup_blocks([n for n in names.values() if n])
+
+    def _collect_round(
+        self,
+        futures: "dict[int, Any]",
+        names: dict[int, str | None] | None,
+    ) -> tuple[dict[int, Any], list[tuple[int, BaseException]], bool]:
+        """Gather one round's results; classify failures as retryable or not.
+
+        Returns ``(done, failed, teardown)`` where ``teardown`` demands the
+        executor be killed rather than drained (hung or dead workers).  The
+        timeout budget covers the whole round: ``shard_timeout`` scaled by
+        how many executor waves the round needs, since queued shards wait for
+        a worker before their own clock meaningfully starts.
+        """
+        done: dict[int, Any] = {}
+        failed: list[tuple[int, BaseException]] = []
+        teardown = False
+        deadline = None
+        if self.retry.shard_timeout is not None:
+            waves = math.ceil(len(futures) / max(1, self.n_workers))
+            deadline = time.monotonic() + self.retry.shard_timeout * max(1, waves)
+        for index, future in futures.items():
+            try:
+                if deadline is None:
+                    result = future.result()
+                else:
+                    remaining = max(0.0, deadline - time.monotonic())
+                    result = future.result(timeout=remaining)
+            # TimeoutError subclasses OSError (PEP 3151) and must win the
+            # match; BrokenProcessPool is a RuntimeError.
+            except TimeoutError as error:
+                failed.append((index, error))
+                teardown = True
+                continue
+            except BrokenProcessPool as error:
+                failed.append((index, error))
+                teardown = True
+                continue
+            except (pickle.PickleError, EOFError, OSError) as error:
+                # Transport-shaped failures: the shard never really ran to a
+                # usable result, resubmitting it is safe.
+                failed.append((index, error))
+                continue
+            if isinstance(result, shm.SharedFallback):
+                self._note_shm_failure("worker response block allocation failed")
+                result = result.result
+            elif isinstance(result, shm.SharedOutcome):
+                if names is not None:
+                    # load_shared unlinks the block itself (success *or*
+                    # failure), so the finally must not unlink it again.
+                    names[index] = None
+                try:
+                    result = shm.load_shared(result)
+                except (OSError, ValueError) as error:
+                    self._note_shm_failure(
+                        f"response block resolve failed: {error}"
+                    )
+                    failed.append((index, error))
+                    continue
+            if names is not None:
+                names[index] = None
+            done[index] = result
+        return done, failed, teardown
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (
@@ -1738,7 +2005,9 @@ def backend_from_config(config: MiningConfig) -> ExecutionBackend:
         return SerialBackend()
     if config.engine == "process":
         return ProcessPoolBackend(
-            n_workers=config.n_workers, shared_memory=config.shared_memory
+            n_workers=config.n_workers,
+            shared_memory=config.shared_memory,
+            retry=getattr(config, "retry", None),
         )
     raise ConfigurationError(  # pragma: no cover - caught by MiningConfig validation
         f"unknown engine {config.engine!r}; known: 'serial', 'process'"

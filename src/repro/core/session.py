@@ -56,6 +56,7 @@ import numpy as np
 
 from ..exceptions import MiningError
 from ..timeseries.sequences import SequenceDatabase, TemporalSequence
+from . import faults
 from .bitmap import Bitmap
 from .config import MiningConfig
 from .engine import (
@@ -288,6 +289,12 @@ class MiningSession:
         self.graph: HierarchicalPatternGraph | None = None
         self.statistics: MiningStatistics | None = None
         self.appends: int = 0
+        #: Progress marker of an interrupted checkpointed mine():
+        #: ``{"next_level": k}`` when level ``k`` still has to run, ``None``
+        #: when the state is complete.  Persisted by
+        #: :func:`repro.io.session_io.write_session` so :meth:`resume` knows
+        #: where to pick up.
+        self._mining_state: dict | None = None
         # Level 2 is immutable once a run finished, so its pattern-identity
         # snapshot (used by the transitivity checks at every level >= 3) is
         # built once per run and reused.
@@ -317,6 +324,11 @@ class MiningSession:
         ``backend`` evaluates the level candidates; ``None`` resolves one
         from ``config.engine`` for this call and closes it afterwards, an
         injected backend stays owned by the caller.
+
+        With ``config.checkpoint_path`` set the session snapshots itself to
+        that file (atomically, via the ordinary session writer) after every
+        completed level; an interrupted run restarts from the last finished
+        level via :meth:`resume` and produces the identical final result.
         """
         if self.graph is not None:
             raise MiningError(
@@ -325,7 +337,21 @@ class MiningSession:
             )
         if len(database) == 0:
             raise MiningError("cannot mine an empty sequence database")
+        checkpointing = self.config.checkpoint_path is not None
+        if checkpointing:
+            # Checkpoints reuse write_session, so they inherit its contract.
+            if not self.retain_occurrences:
+                raise MiningError(
+                    "checkpointing requires a session with retained "
+                    "occurrences (retain_occurrences=True)"
+                )
+            if self.event_filter is not None or self.pair_filter is not None:
+                raise MiningError(
+                    "sessions carrying event/pair filters cannot be "
+                    "checkpointed; filters are arbitrary callables"
+                )
 
+        plan = faults.active_plan()
         started = time.perf_counter()
         config = self.config
         stats = MiningStatistics(n_sequences=len(database))
@@ -336,16 +362,39 @@ class MiningSession:
         backend, owns_backend = self._resolve_backend(backend)
         try:
             all_events = self._mine_single_events(database, graph, stats, min_count)
+            if checkpointing:
+                # Publish the in-progress state so every checkpoint below can
+                # go through the ordinary session writer; on failure the
+                # except arm rolls the in-memory session back to unmined.
+                self.n_sequences = len(database)
+                self.events = all_events
+                self.graph = graph
+                self.statistics = stats
+                self._write_checkpoint(2)
             max_size = config.max_pattern_size
             if max_size is None or max_size >= 2:
+                faults.coordinator_exit(plan, 2)
                 self._mine_pairs(graph, stats, min_count, backend)
+                self._write_checkpoint(3)
                 level = 3
                 while (max_size is None or level <= max_size) and graph.nodes_at(
                     level - 1
                 ):
+                    faults.coordinator_exit(plan, level)
                     if not self._mine_level(graph, stats, min_count, level, backend):
                         break
+                    self._write_checkpoint(level + 1)
                     level += 1
+        except BaseException:
+            if checkpointing:
+                # The on-disk checkpoint survives for resume(); in memory the
+                # session reverts to unmined so a retry starts clean.
+                self.n_sequences = 0
+                self.events = {}
+                self.graph = None
+                self.statistics = None
+                self._mining_state = None
+            raise
         finally:
             if owns_backend:
                 backend.close()
@@ -355,7 +404,110 @@ class MiningSession:
         self.events = all_events
         self.graph = graph
         self.statistics = stats
-        return self._build_result(graph, stats, runtime, backend)
+        self._write_checkpoint(None)
+        return self._build_result(graph, stats, runtime, backend.name)
+
+    def resume(
+        self, database: SequenceDatabase, backend: ExecutionBackend | None = None
+    ) -> MiningResult:
+        """Continue an interrupted checkpointed :meth:`mine` run.
+
+        The session must have been loaded from a checkpoint file written by
+        an interrupted run (``read_session`` restores the progress marker).
+        Mining restarts at the first level the checkpoint had not completed —
+        earlier levels are reused as-is, so resume + remainder produces the
+        identical result a never-interrupted run would have.  ``database``
+        must be the same sequence database the interrupted run was mining
+        (level 1 is *not* re-scanned; the checkpoint already holds it, and
+        the size check below is the cheap guard against handing in a
+        different database).
+
+        On a checkpoint whose run actually completed this is a no-op that
+        rebuilds and returns the final result.
+        """
+        if self.graph is None:
+            raise MiningError(
+                "resume() needs checkpointed state; call mine() first"
+            )
+        state = self._mining_state
+        if state is None:
+            return self.result()
+        if len(database) != self.n_sequences:
+            raise MiningError(
+                f"resume database holds {len(database)} sequences but the "
+                f"checkpoint was mining {self.n_sequences}; resume() needs "
+                "the exact database of the interrupted run"
+            )
+        next_level = int(state["next_level"])
+
+        plan = faults.active_plan()
+        started = time.perf_counter()
+        config = self.config
+        stats = self.statistics
+        min_count = config.support_count(self.n_sequences)
+        graph = self.graph
+        self._pair_patterns = None
+
+        backend, owns_backend = self._resolve_backend(backend)
+        try:
+            max_size = config.max_pattern_size
+            level = next_level
+            if level == 2 and (max_size is None or max_size >= 2):
+                faults.coordinator_exit(plan, 2)
+                self._mine_pairs(graph, stats, min_count, backend)
+                self._write_checkpoint(3)
+                level = 3
+            while (
+                level >= 3
+                and (max_size is None or level <= max_size)
+                and graph.nodes_at(level - 1)
+            ):
+                faults.coordinator_exit(plan, level)
+                if not self._mine_level(graph, stats, min_count, level, backend):
+                    break
+                self._write_checkpoint(level + 1)
+                level += 1
+        finally:
+            if owns_backend:
+                backend.close()
+
+        runtime = time.perf_counter() - started
+        self._write_checkpoint(None)
+        return self._build_result(graph, stats, runtime, backend.name)
+
+    def result(self) -> MiningResult:
+        """Rebuild the :class:`MiningResult` of completed mined state.
+
+        Used after loading a finished run's checkpoint; the reported runtime
+        is zero because no mining happened in this process.
+        """
+        if self.graph is None or self.statistics is None:
+            raise MiningError("no mined state to build a result from")
+        if self._mining_state is not None:
+            raise MiningError(
+                "the run behind this checkpoint did not complete; "
+                "call resume() to finish it"
+            )
+        return self._build_result(
+            self.graph, self.statistics, 0.0, self.config.engine
+        )
+
+    def _write_checkpoint(self, next_level: int | None) -> None:
+        """Snapshot the session after a level boundary (no-op when disabled).
+
+        ``next_level`` is the first level the snapshot has *not* completed;
+        ``None`` marks the state complete.  The write is atomic
+        (:func:`~repro.io.session_io.write_session`), so a crash mid-write
+        leaves the previous checkpoint intact.
+        """
+        if self.config.checkpoint_path is None:
+            return
+        self._mining_state = (
+            None if next_level is None else {"next_level": next_level}
+        )
+        from ..io.session_io import write_session
+
+        write_session(self, self.config.checkpoint_path)
 
     def append(
         self,
@@ -443,7 +595,7 @@ class MiningSession:
         self.graph = graph
         self.statistics = stats
         self.appends += 1
-        return self._build_result(graph, stats, runtime, backend)
+        return self._build_result(graph, stats, runtime, backend.name)
 
     # ------------------------------------------------------------------ level 1
     def _mine_single_events(
@@ -887,7 +1039,7 @@ class MiningSession:
         graph: HierarchicalPatternGraph,
         stats: MiningStatistics,
         runtime: float,
-        backend: ExecutionBackend,
+        engine: str,
     ) -> MiningResult:
         """Collect every stored pattern into a :class:`MiningResult`."""
         mined = []
@@ -919,7 +1071,7 @@ class MiningSession:
             statistics=stats,
             runtime_seconds=runtime,
             algorithm="E-HTPGM",
-            engine=backend.name,
+            engine=engine,
         )
 
 

@@ -72,6 +72,7 @@ __all__ = [
     "SharedArrayStore",
     "SharedPayload",
     "SharedOutcome",
+    "SharedFallback",
     "shared_memory_available",
     "generate_block_name",
     "dumps_shared",
@@ -388,6 +389,22 @@ class SharedOutcome:
     blob: bytes
 
 
+@dataclass(frozen=True)
+class SharedFallback:
+    """A result that *should* have travelled by block but could not.
+
+    :func:`pack_shared` wraps the plain result in this marker when response
+    block creation fails (``/dev/shm`` exhaustion, size limits), so the
+    coordinator can both use the result — it pickled across the pipe just
+    fine — and count the transport failure towards its degrade-to-pickle
+    decision.  Array-free results stay unwrapped: skipping the block for
+    them is the fast path, not a failure.
+    """
+
+    #: The shard result, delivered by ordinary pickling.
+    result: Any
+
+
 def pack_request(payload: Any) -> tuple[SharedPayload, SharedArrayStore]:
     """Pack a whole request payload — blob and arrays — into one block.
 
@@ -411,23 +428,30 @@ def load_request(request: SharedPayload) -> Any:
     return payload
 
 
-def pack_shared(result: Any, block_name: str) -> Any:
+def pack_shared(result: Any, block_name: str, fail_injected: bool = False) -> Any:
     """Offload ``result``'s arrays into a response block (worker side).
 
     Returns a :class:`SharedOutcome` when at least one array was diverted;
-    otherwise — array-free results, or a block that cannot be created (for
-    example ``/dev/shm`` exhaustion) — the plain result, which travels the
-    ordinary pickle path.  The worker's own mapping is closed before
+    array-free results return plain (the block is skipped on purpose).  A
+    block that cannot be created (for example ``/dev/shm`` exhaustion)
+    returns the result wrapped in :class:`SharedFallback` — still usable,
+    it travels the ordinary pickle path, but the coordinator can count the
+    transport failure.  The worker's own mapping is closed before
     returning; the block lives on until the coordinator unlinks it.
+
+    ``fail_injected`` simulates the allocation failure for the
+    fault-injection harness (:mod:`repro.core.faults`).
     """
     store = SharedArrayStore(name=block_name)
     try:
+        if fail_injected:
+            raise OSError("injected shared-memory allocation failure")
         blob = dumps_shared(result, store)
         if store.n_arrays == 0:
             return result
         store.seal()
-    except (OSError, ValueError):  # pragma: no cover - environment-dependent
-        return result
+    except (OSError, ValueError):
+        return SharedFallback(result)
     finally:
         store.close()
     return SharedOutcome(name=block_name, blob=blob)

@@ -54,6 +54,13 @@ class MiningStatistics:
     #: correlation-graph construction and — when event-level pruning is
     #: enabled — the event correlation index.  0.0 for the exact miner.
     correlation_seconds: float = 0.0
+    #: Shard resubmissions per level (level -> count).  Non-empty only when
+    #: the process engine retried crashed/hung/failed shards; the mined
+    #: pattern set is unaffected (retries are idempotent).
+    shard_retries: dict[int, int] = field(default_factory=dict)
+    #: Degradation warnings recorded during the run (shared-memory transport
+    #: disabled, process pool degraded to serial, ...).  Deduplicated.
+    warnings: list[str] = field(default_factory=list)
 
     # ------------------------------------------------------------------ increments
     def bump(self, counter: dict[int, int], level: int, amount: int = 1) -> None:
@@ -67,6 +74,11 @@ class MiningStatistics:
             return
         counter[level] = counter.get(level, 0) + amount
 
+    def record_warning(self, message: str) -> None:
+        """Record a degradation warning once (repeats are dropped)."""
+        if message not in self.warnings:
+            self.warnings.append(message)
+
     # ------------------------------------------------------------------ merging
     def absorb_counters(self, other: "MiningStatistics") -> None:
         """Add another run's per-level work counters into this one.
@@ -79,6 +91,14 @@ class MiningStatistics:
             mine = getattr(self, name)
             for level, amount in getattr(other, name).items():
                 mine[level] = mine.get(level, 0) + amount
+        # Fault-tolerance bookkeeping rides along: retry counts add like any
+        # work counter, warnings merge deduplicated.  Guarded with getattr so
+        # statistics unpickled from pre-fault-tolerance session files (which
+        # lack the fields) still absorb cleanly.
+        for level, amount in getattr(other, "shard_retries", {}).items():
+            self.shard_retries[level] = self.shard_retries.get(level, 0) + amount
+        for message in getattr(other, "warnings", ()):
+            self.record_warning(message)
 
     def merge_shard(self, other: "MiningStatistics") -> None:
         """Merge the statistics of one parallel shard into this aggregate.
@@ -137,5 +157,7 @@ class MiningStatistics:
             "patterns_found": dict(self.patterns_found),
             "level_seconds": dict(self.level_seconds),
             "correlation_seconds": self.correlation_seconds,
+            "shard_retries": dict(self.shard_retries),
+            "warnings": list(self.warnings),
             "total_patterns": self.total_patterns,
         }

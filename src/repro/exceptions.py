@@ -36,6 +36,35 @@ class MiningError(ReproError):
     """Raised when the mining process itself encounters an inconsistent state."""
 
 
+class SessionFormatError(DataError, MiningError):
+    """Raised when a session/checkpoint file cannot be read.
+
+    Covers everything from a truncated pickle to a payload written by an
+    incompatible format version.  Inherits both :class:`DataError` (the file
+    is malformed input) and :class:`MiningError` (the CLI maps mining
+    runtime failures — this one included — to exit code 1), so existing
+    ``except DataError`` callers keep working.
+
+    Attributes
+    ----------
+    path:
+        The session file that failed to load, when known.
+    version:
+        The format version detected in the file, when one was readable.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: object = None,
+        version: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.path = path
+        self.version = version
+
+
 class RepresentationOverflowError(MiningError):
     """Raised when occurrence evidence no longer fits its storage dtype.
 

@@ -29,9 +29,12 @@ import pickle
 import tempfile
 from pathlib import Path
 
+from dataclasses import fields as _dataclass_fields
+
+from ..core.config import MiningConfig
 from ..core.hpg import HierarchicalPatternGraph
 from ..core.session import MiningSession
-from ..exceptions import DataError, MiningError
+from ..exceptions import MiningError, SessionFormatError
 
 __all__ = ["read_session", "write_session"]
 
@@ -55,6 +58,12 @@ __all__ = ["read_session", "write_session"]
 #:    to its position in the event's per-sequence instance list (exact
 #:    duplicates cannot occur there, so the resolution is unambiguous).
 #:    Files are always written in the current version.
+#:
+#: Version 3 files may additionally carry an optional ``mining_state`` key —
+#: the progress marker of an interrupted checkpointed run (see
+#: ``MiningConfig.checkpoint_path``).  Files without the key (older writers)
+#: load as complete sessions, and older readers ignore the extra key, so the
+#: addition is compatible in both directions and needs no version bump.
 FORMAT_NAME = "repro-mining-session"
 FORMAT_VERSION = 3
 #: Versions :func:`read_session` can migrate on load.
@@ -92,6 +101,7 @@ def write_session(session: MiningSession, path: str | Path) -> Path:
         "levels": session.graph.levels,
         "statistics": session.statistics,
         "appends": session.appends,
+        "mining_state": getattr(session, "_mining_state", None),
     }
     path = Path(path)
     fd, tmp_name = tempfile.mkstemp(
@@ -112,34 +122,75 @@ def write_session(session: MiningSession, path: str | Path) -> Path:
     return path
 
 
+def _normalise_config(config: object) -> MiningConfig:
+    """Fill fields a pre-fault-tolerance pickled config does not carry.
+
+    Frozen dataclasses unpickle through ``__dict__`` state, bypassing
+    ``__init__`` — a config written before ``retry``/``checkpoint_path``
+    existed therefore simply *lacks* those attributes.  Rebuilding through
+    the constructor restores every missing field's default (and re-runs the
+    validation).
+    """
+    field_names = [f.name for f in _dataclass_fields(MiningConfig)]
+    if all(hasattr(config, name) for name in field_names):
+        return config  # type: ignore[return-value]
+    return MiningConfig(
+        **{
+            name: getattr(config, name)
+            for name in field_names
+            if hasattr(config, name)
+        }
+    )
+
+
+def _normalise_statistics(statistics: object) -> object:
+    """Backfill counter fields a pre-fault-tolerance statistics pickle lacks."""
+    if statistics is not None:
+        if not hasattr(statistics, "shard_retries"):
+            statistics.shard_retries = {}
+        if not hasattr(statistics, "warnings"):
+            statistics.warnings = []
+    return statistics
+
+
 def read_session(path: str | Path) -> MiningSession:
-    """Restore a session written by :func:`write_session`."""
+    """Restore a session written by :func:`write_session`.
+
+    Any malformed file — truncated, corrupted, a foreign pickle, an
+    unsupported format version, internally inconsistent evidence — raises
+    :class:`~repro.exceptions.SessionFormatError` carrying the path and the
+    detected format version.  A missing or unreadable file raises the plain
+    ``OSError`` from ``open`` (a usage problem, not a corrupt artefact).
+    """
     path = Path(path)
-    try:
-        with path.open("rb") as handle:
+    with path.open("rb") as handle:
+        try:
             payload = pickle.load(handle)
-    except (
-        pickle.UnpicklingError,
-        EOFError,
-        AttributeError,
-        ValueError,
-        IndexError,
-        # Foreign pickles may reference classes from modules this
-        # installation does not have.
-        ImportError,
-    ) as error:
-        raise DataError(f"{path} is not a mining-session file: {error}") from error
+        except Exception as error:
+            # Corrupt or truncated pickles fail in wildly different ways
+            # (UnpicklingError, EOFError, AttributeError, ImportError, ...);
+            # every one of them means the same thing here.
+            raise SessionFormatError(
+                f"{path} is not a readable mining-session file: {error}",
+                path=path,
+            ) from error
     if not isinstance(payload, dict) or payload.get("format") != FORMAT_NAME:
-        raise DataError(f"{path} is not a mining-session file")
+        raise SessionFormatError(
+            f"{path} is not a mining-session file", path=path
+        )
     version = payload.get("version")
     if version not in READABLE_VERSIONS:
-        raise DataError(
+        raise SessionFormatError(
             f"{path} uses session format version {version!r}; "
-            f"this build reads versions {', '.join(map(str, READABLE_VERSIONS))}"
+            f"this build reads versions {', '.join(map(str, READABLE_VERSIONS))}",
+            path=path,
+            version=version if isinstance(version, int) else None,
         )
 
     try:
-        session = MiningSession(config=payload["config"], retain_occurrences=True)
+        session = MiningSession(
+            config=_normalise_config(payload["config"]), retain_occurrences=True
+        )
         session.n_sequences = payload["n_sequences"]
         session.events = payload["events"]
         # Level-1 nodes are the same objects as their ``events`` entries
@@ -150,11 +201,14 @@ def read_session(path: str | Path) -> MiningSession:
             level1={key: payload["events"][key] for key in payload["level1_keys"]},
             levels=payload["levels"],
         )
-        session.statistics = payload["statistics"]
+        session.statistics = _normalise_statistics(payload["statistics"])
         session.appends = payload["appends"]
+        session._mining_state = payload.get("mining_state")
     except KeyError as error:
-        raise DataError(
-            f"{path} is missing session payload entry {error}"
+        raise SessionFormatError(
+            f"{path} is missing session payload entry {error}",
+            path=path,
+            version=version,
         ) from error
     try:
         # Instance→position maps shared by every entry referencing the same
@@ -170,8 +224,10 @@ def read_session(path: str | Path) -> MiningSession:
             entry.bind_sources(session.graph.level1)
             entry.validate_indices()
     except (KeyError, IndexError, TypeError, AttributeError, ValueError) as error:
-        raise DataError(
+        raise SessionFormatError(
             f"{path} holds occurrence evidence inconsistent with its "
-            f"level-1 instance lists: {error!r}"
+            f"level-1 instance lists: {error!r}",
+            path=path,
+            version=version,
         ) from error
     return session

@@ -152,11 +152,7 @@ class FTPMfTS:
             raise ConfigurationError(
                 "incremental sessions require the exact miner (approximate=False)"
             )
-        expected = session.config.with_engine(
-            self.mining_config.engine,
-            self.mining_config.n_workers,
-            self.mining_config.shared_memory,
-        )
+        expected = session.config.adopt_execution(self.mining_config)
         if expected != self.mining_config:
             raise ConfigurationError(
                 "session was created with a different MiningConfig than this "

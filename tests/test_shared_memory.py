@@ -24,7 +24,13 @@ import numpy as np
 import pytest
 from concurrent.futures.process import BrokenProcessPool
 
-from repro import MiningConfig, MiningSession, ProcessPoolBackend, SerialBackend
+from repro import (
+    MiningConfig,
+    MiningSession,
+    ProcessPoolBackend,
+    RetryPolicy,
+    SerialBackend,
+)
 from repro.core import shm
 from repro.core.bitmap import Bitmap
 from repro.core.engine import (
@@ -281,7 +287,10 @@ class TestBackendLifecycle:
     def test_worker_crash_leaves_no_blocks_and_backend_reusable(self):
         before = _shm_entries()
         with ProcessPoolBackend(
-            n_workers=2, min_candidates_per_worker=1, shared_memory=True
+            n_workers=2,
+            min_candidates_per_worker=1,
+            shared_memory=True,
+            retry=RetryPolicy(max_retries=0),
         ) as backend:
             with pytest.raises(BrokenProcessPool):
                 backend.map_shards(_crashing_shard, None, list(range(8)))
@@ -299,6 +308,7 @@ class TestBackendLifecycle:
             min_candidates_per_worker=1,
             shared_memory=True,
             start_method="spawn",
+            retry=RetryPolicy(max_retries=0),
         ) as backend:
             with pytest.raises(BrokenProcessPool):
                 backend.map_shards(_crashing_shard, None, list(range(8)))
