@@ -10,11 +10,18 @@ being reproduced.
 
 from __future__ import annotations
 
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.evaluation import ExperimentRunner, format_table
 
-from _bench_utils import emit
+from _bench_utils import emit, smoke_mode
 
 METHODS = ("A-HTPGM", "E-HTPGM", "TPMiner", "IEMiner", "H-DFS")
 A_DENSITY = 0.6
@@ -61,3 +68,132 @@ def test_table8_memory_comparison(dataset_fixture, config_fixture, benchmark, re
     worst_baseline = max(peaks["TPMiner"], peaks["IEMiner"], peaks["H-DFS"])
     assert peaks["E-HTPGM"] <= worst_baseline * 1.05
     assert peaks["A-HTPGM"] <= peaks["E-HTPGM"] * 1.25
+
+
+# --------------------------------------------------------------- memory governor
+#: One measured run of the process engine in a fresh interpreter.  Peak RSS is
+#: read from ``getrusage(RUSAGE_CHILDREN)``, which is a high-water mark over
+#: every child the calling process has *ever* reaped — measuring inside the
+#: long-lived pytest process would report the largest worker of the whole
+#: session, so each measurement gets its own subprocess.
+_GOVERNOR_CHILD = """
+import hashlib, json, resource, sys
+from repro import MiningConfig, MiningSession, ProcessPoolBackend
+from repro.datasets import make_dataset
+
+budget, scale = sys.argv[1], float(sys.argv[2])
+dataset = make_dataset("dataport", scale=scale, attribute_fraction=0.6, seed=103)
+_symbolic, sequence_db = dataset.transform()
+config = MiningConfig(min_support=0.3, min_confidence=0.3, min_overlap=1.0)
+backend = ProcessPoolBackend(
+    n_workers=2,
+    min_candidates_per_worker=1,
+    memory_budget=(budget if budget != "0" else None),
+)
+session = MiningSession(config)
+try:
+    result = session.mine(sequence_db, backend=backend)
+finally:
+    backend.close()
+records = json.dumps(result.to_records(), sort_keys=True)
+print(json.dumps({
+    "digest": hashlib.sha256(records.encode()).hexdigest(),
+    "n_patterns": len(result),
+    "peak_children_rss_bytes":
+        resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss * 1024,
+    "splits": {str(k): v for k, v in result.statistics.shard_splits.items()},
+    "warnings": list(result.statistics.warnings),
+}))
+"""
+
+_GOVERNOR_BUDGET = "96M"
+_GOVERNOR_BUDGET_BYTES = 96 * 1024 * 1024
+_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_memory_governor.json"
+
+
+def _governed_run(budget: str, scale: float) -> dict:
+    src = Path(__file__).resolve().parents[1] / "src"
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = str(src) if not existing else str(src) + os.pathsep + existing
+    completed = subprocess.run(
+        [sys.executable, "-c", _GOVERNOR_CHILD, budget, str(scale)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+        timeout=900,
+    )
+    return json.loads(completed.stdout.splitlines()[-1])
+
+
+def test_memory_governor_peak_rss(benchmark):
+    """Peak worker RSS under a memory budget vs. unbudgeted, with parity.
+
+    The governor's promise is *output-invariant* governance: the budgeted run
+    mines the identical pattern set while the fleet's peak resident set stays
+    bounded.  Absolute bytes depend on the interpreter baseline (tens of MiB
+    of CPython + NumPy per worker before the miner allocates anything), so
+    the recorded artefact keeps both raw peaks alongside the budget, and the
+    assertion is relative: budgeting must never *inflate* the footprint.
+    """
+    scale = 0.02 if smoke_mode() else 0.05
+
+    def run():
+        budgeted = _governed_run(_GOVERNOR_BUDGET, scale)
+        unbudgeted = _governed_run("0", scale)
+        return budgeted, unbudgeted
+
+    budgeted, unbudgeted = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    emit(
+        format_table(
+            ["run", "peak children RSS (MiB)", "patterns", "splits"],
+            [
+                [
+                    f"budget {_GOVERNOR_BUDGET}",
+                    f"{budgeted['peak_children_rss_bytes'] / 2**20:.1f}",
+                    budgeted["n_patterns"],
+                    sum(budgeted["splits"].values()),
+                ],
+                [
+                    "unbudgeted",
+                    f"{unbudgeted['peak_children_rss_bytes'] / 2**20:.1f}",
+                    unbudgeted["n_patterns"],
+                    sum(unbudgeted["splits"].values()),
+                ],
+            ],
+            title="Memory governor: peak worker RSS vs budget",
+        )
+    )
+
+    record = {
+        "timestamp": time.time(),
+        "dataset": "dataport",
+        "scale": scale,
+        "budget_bytes": _GOVERNOR_BUDGET_BYTES,
+        "budgeted_peak_rss_bytes": budgeted["peak_children_rss_bytes"],
+        "unbudgeted_peak_rss_bytes": unbudgeted["peak_children_rss_bytes"],
+        "n_patterns": budgeted["n_patterns"],
+        "shard_splits": budgeted["splits"],
+        "parity": budgeted["digest"] == unbudgeted["digest"],
+        "smoke": smoke_mode(),
+    }
+    history = (
+        json.loads(_RESULTS_PATH.read_text()) if _RESULTS_PATH.exists() else []
+    )
+    history.append(record)
+    _RESULTS_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+    # Parity is unconditional — governance must never change the output.
+    assert budgeted["digest"] == unbudgeted["digest"]
+    assert budgeted["n_patterns"] == unbudgeted["n_patterns"] > 0
+    if not smoke_mode():
+        # The budgeted fleet must not use meaningfully more memory than the
+        # unbudgeted one (watchdog + governor overhead is bookkeeping-sized);
+        # RSS growth beyond the per-run baseline stays within the budget.
+        assert (
+            budgeted["peak_children_rss_bytes"]
+            <= unbudgeted["peak_children_rss_bytes"] * 1.25
+            + _GOVERNOR_BUDGET_BYTES
+        )

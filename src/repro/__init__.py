@@ -69,6 +69,7 @@ from .core import (
 from .exceptions import (
     ConfigurationError,
     DataError,
+    MemoryBudgetExceeded,
     MiningError,
     RepresentationOverflowError,
     ReproError,
@@ -141,4 +142,5 @@ __all__ = [
     "MiningError",
     "SessionFormatError",
     "RepresentationOverflowError",
+    "MemoryBudgetExceeded",
 ]

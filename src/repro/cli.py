@@ -29,6 +29,7 @@ import sys
 from collections.abc import Sequence
 
 from .core.config import MiningConfig, RetryPolicy
+from .core.resources import parse_byte_size
 from .datasets import available_datasets, make_dataset
 from .evaluation import ExperimentRunner, format_table
 from .exceptions import MiningError, ReproError
@@ -171,6 +172,18 @@ def build_parser() -> argparse.ArgumentParser:
             "a shard exceeding it is killed and retried (default: no timeout)"
         ),
     )
+    mine.add_argument(
+        "--memory-budget",
+        metavar="SIZE",
+        help=(
+            "total memory budget for the --parallel worker fleet, e.g. "
+            "'512M' or '2G' (binary suffixes; a bare number is bytes); "
+            "shards are sized to fit each worker's share, over-budget "
+            "shards are split and degraded instead of dying to the OOM "
+            "killer, and every degradation step is reported as a warning "
+            "(identical pattern set)"
+        ),
+    )
     mine.add_argument("--top", type=int, default=10, help="number of patterns to print")
 
     evaluate = subparsers.add_parser(
@@ -247,6 +260,9 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     if args.shard_timeout is not None and not args.parallel:
         print("error: --shard-timeout requires --parallel", file=sys.stderr)
         return 2
+    if args.memory_budget is not None and not args.parallel:
+        print("error: --memory-budget requires --parallel", file=sys.stderr)
+        return 2
     if args.approximate and (args.session or args.append or args.checkpoint):
         print(
             "error: --session/--append/--checkpoint require the exact miner "
@@ -282,6 +298,13 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         return 2
 
     engine = "process" if args.parallel else "serial"
+    # Parsed up front so a bad size string is a usage error (exit 2) before
+    # any data is read; MiningConfig.__post_init__ re-validates the bytes.
+    memory_budget_bytes = (
+        parse_byte_size(args.memory_budget)
+        if args.memory_budget is not None
+        else None
+    )
     if args.append:
         overridden = [
             flag
@@ -309,6 +332,8 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         append_config = session.config.with_engine(
             engine, args.workers, args.shared_memory
         )
+        if memory_budget_bytes is not None:
+            append_config = append_config.with_memory_budget(memory_budget_bytes)
         if args.max_retries is not None or args.shard_timeout is not None:
             append_config = append_config.with_retry(
                 RetryPolicy(
@@ -350,6 +375,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             shared_memory=args.shared_memory,
             retry=retry,
             checkpoint_path=args.checkpoint,
+            memory_budget_bytes=memory_budget_bytes,
         )
         process = FTPMfTS(
             split_config=SplitConfig(window_length=args.window, overlap=args.overlap),

@@ -129,6 +129,7 @@ _EXECUTION_FIELDS = (
     "shared_memory",
     "retry",
     "checkpoint_path",
+    "memory_budget_bytes",
 )
 
 
@@ -209,6 +210,19 @@ class MiningConfig:
         where a single (occurrence-block × instance-block) product can
         otherwise allocate gigabytes.  ``None`` disables chunking; the
         default is 64 MiB.
+    memory_budget_bytes:
+        Total memory budget in bytes for the ``"process"`` engine's worker
+        fleet, divided into equal per-worker shares (see
+        :mod:`repro.core.resources`).  The coordinator sizes shards so no
+        shard's estimated working set exceeds a share, and each worker runs
+        a resident-set watchdog that aborts an over-budget shard with a
+        clean :class:`~repro.exceptions.MemoryBudgetExceeded` before the
+        kernel OOM killer would have fired; the engine then recovers by
+        splitting the shard in half (recursively) and degrading — smaller
+        kernel chunks, forced summarisation where legal, finally in-process
+        evaluation — every step output-preserving and recorded in
+        :attr:`MiningStatistics.warnings`.  ``None`` (the default) disables
+        governance; the serial engine ignores the budget.
     retry:
         Fault-tolerance policy of the ``"process"`` engine (see
         :class:`RetryPolicy`): how often a crashed, hung or failed shard is
@@ -238,6 +252,7 @@ class MiningConfig:
     vectorized: bool = True
     kernel_min_pairs: int | None = None
     kernel_chunk_bytes: int | None = 64 * 1024 * 1024
+    memory_budget_bytes: int | None = None
     retry: RetryPolicy = RetryPolicy()
     checkpoint_path: str | None = None
 
@@ -287,6 +302,11 @@ class MiningConfig:
                 "kernel_chunk_bytes must be >= 1 or None, "
                 f"got {self.kernel_chunk_bytes}"
             )
+        if self.memory_budget_bytes is not None and self.memory_budget_bytes < 1:
+            raise ConfigurationError(
+                "memory_budget_bytes must be >= 1 or None, "
+                f"got {self.memory_budget_bytes}"
+            )
         if not isinstance(self.retry, RetryPolicy):
             raise ConfigurationError(
                 f"retry must be a RetryPolicy, got {type(self.retry).__name__}"
@@ -330,6 +350,15 @@ class MiningConfig:
     def with_retry(self, retry: RetryPolicy) -> "MiningConfig":
         """Copy of this configuration with a different fault-tolerance policy."""
         return replace(self, retry=retry)
+
+    def with_memory_budget(self, memory_budget_bytes: int | None) -> "MiningConfig":
+        """Copy of this configuration with a different worker memory budget.
+
+        A pure execution detail (like ``retry``): budgeted and unbudgeted
+        runs mine byte-identical pattern sets — the budget only governs how
+        shards are sized, watched and recovered under memory pressure.
+        """
+        return replace(self, memory_budget_bytes=memory_budget_bytes)
 
     def adopt_execution(self, other: "MiningConfig") -> "MiningConfig":
         """Copy of this configuration with ``other``'s execution details.

@@ -92,15 +92,15 @@ import time
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from itertools import combinations
 from typing import Any, Protocol, TypeVar, runtime_checkable
 
 import numpy as np
 
-from ..exceptions import ConfigurationError, MiningError
+from ..exceptions import ConfigurationError, MemoryBudgetExceeded, MiningError
 from ..timeseries.sequences import EventInstance
-from . import faults, shm
+from . import faults, resources, shm
 from .bitmap import Bitmap
 from .config import MiningConfig, RetryPolicy
 from .events import EventKey
@@ -172,6 +172,19 @@ class LevelContext:
     so parallel workers summarise such *dead-end* nodes before pickling.
     The miner only sets the flag when transitivity pruning is on (without it
     the worker cannot prove a node dead) and occurrence retention is off.
+
+    ``memory_share_bytes`` arms the worker-side memory watchdog
+    (:func:`repro.core.resources.shard_watchdog`): when set — the process
+    backend stamps one worker's share of ``MiningConfig.memory_budget_bytes``
+    here before shipping the context — a worker polls its resident-set growth
+    between candidates and aborts the shard with
+    :class:`~repro.exceptions.MemoryBudgetExceeded` once the share is spent,
+    letting the coordinator split the shard instead of eating a SIGKILL.
+    ``allow_summarise`` records whether forcing ``summarise_dead_ends`` on
+    retry is *legal* for this level (set by the miner under the exact same
+    conditions it would set ``summarise_dead_ends`` itself); the memory
+    degradation chain consults it so a budget recovery can never summarise
+    occurrences a retaining session needs.
     """
 
     level: int
@@ -184,6 +197,8 @@ class LevelContext:
     )
     final_level: bool = False
     summarise_dead_ends: bool = False
+    memory_share_bytes: int | None = None
+    allow_summarise: bool = False
 
     def event_support(self, event: EventKey) -> int:
         """Support of a frequent event (0 when absent, mirroring the graph)."""
@@ -244,7 +259,12 @@ def evaluate_candidates(
     stats = MiningStatistics()
     nodes: list[CombinationNode] = []
     evaluate = _evaluate_pair if context.level == 2 else _evaluate_combination
+    # Armed only inside process-pool workers shipping a budgeted context;
+    # serial runs and the in-process degradation fallback get None.
+    watchdog = resources.shard_watchdog(context)
     for candidate in candidates:
+        if watchdog is not None:
+            watchdog.check()
         node = evaluate(context, candidate, stats)
         if node is not None:
             nodes.append(node)
@@ -1340,8 +1360,9 @@ def _call_forked(
     """Worker entry point when func and payload were inherited at fork time."""
     assert _FORK_PAYLOAD is not None, "fork worker started without a payload"
     func, payload = _FORK_PAYLOAD
-    faults.apply_worker_fault(directive)
-    return func(payload, items)
+    with resources.worker_scope():
+        faults.apply_worker_fault(directive)
+        return func(payload, items)
 
 
 def _call_forked_shared(
@@ -1350,10 +1371,10 @@ def _call_forked_shared(
     """Fork worker entry point returning its result through a shared block."""
     assert _FORK_PAYLOAD is not None, "fork worker started without a payload"
     func, payload = _FORK_PAYLOAD
-    fail_shm = faults.apply_worker_fault(directive)
-    return shm.pack_shared(
-        func(payload, items), response_name, fail_injected=fail_shm
-    )
+    with resources.worker_scope():
+        fail_shm = faults.apply_worker_fault(directive)
+        result = func(payload, items)
+    return shm.pack_shared(result, response_name, fail_injected=fail_shm)
 
 
 def _call_plain(
@@ -1363,8 +1384,9 @@ def _call_plain(
     directive: tuple[str, float] | None = None,
 ) -> Any:
     """Pool worker entry point on the pickle transport."""
-    faults.apply_worker_fault(directive)
-    return func(payload, items)
+    with resources.worker_scope():
+        faults.apply_worker_fault(directive)
+        return func(payload, items)
 
 
 def _call_pooled_shared(
@@ -1380,11 +1402,11 @@ def _call_pooled_shared(
     shards unpickle the context once per worker); the result's arrays go back
     through the pre-named response block.
     """
-    fail_shm = faults.apply_worker_fault(directive)
-    payload = shm.load_request(request)
-    return shm.pack_shared(
-        func(payload, items), response_name, fail_injected=fail_shm
-    )
+    with resources.worker_scope():
+        fail_shm = faults.apply_worker_fault(directive)
+        payload = shm.load_request(request)
+        result = func(payload, items)
+    return shm.pack_shared(result, response_name, fail_injected=fail_shm)
 
 
 def _fork_available() -> bool:
@@ -1399,6 +1421,34 @@ class _PoolUnavailable(Exception):
     degrades the backend to in-process evaluation instead of failing the
     mining run.  Never escapes the backend.
     """
+
+
+@dataclass
+class _ShardPiece:
+    """One schedulable slice of an original shard.
+
+    Every shard starts as a single piece covering all its items; a piece
+    that fails with memory pressure is replaced by two half-sized pieces
+    (recursively, down to one item).  ``shard`` keeps the original shard
+    index — the merge key and the fault-plan coordinate, so a plan armed at
+    ``shard=N`` keeps firing on N's descendants — and ``offset`` orders a
+    shard's pieces so their results concatenate back into exact shard-item
+    order.  ``attempts`` counts only *transport* failures against
+    :attr:`RetryPolicy.max_retries`; memory recoveries are a different
+    currency (they change the work, not just re-run it) and are bounded by
+    the item count instead.
+    """
+
+    shard: int
+    offset: int
+    items: list
+    attempts: int = 0
+
+
+#: Halving ``kernel_chunk_bytes`` below this is pointless: the per-chunk
+#: bookkeeping starts to rival the chunk itself, and a working set this
+#: small was never the problem.
+_CHUNK_SHRINK_FLOOR = 1 << 20
 
 
 #: Transport failures tolerated before the zero-copy path is abandoned for
@@ -1460,6 +1510,16 @@ class ProcessPoolBackend:
     Batches smaller than ``min_candidates_per_worker * 2`` are evaluated
     in-process: for tiny levels the scheduling overhead dwarfs the work being
     distributed.
+
+    ``memory_budget`` (bytes, or a ``"512M"``-style string) puts the whole
+    worker fleet under a :class:`~repro.core.resources.ResourceGovernor`:
+    the up-front split is refined so no shard's estimated transient
+    footprint exceeds one worker's share, shipped contexts carry the share
+    so workers arm a resident-set watchdog, and shards that still outgrow
+    their share (watchdog abort or a raw ``MemoryError``) are recovered by
+    :meth:`_recover_memory`'s split-and-degrade chain instead of a verbatim
+    resubmit.  The budget never changes the mined output — only how the
+    work is cut and retried.
     """
 
     name = "process"
@@ -1474,6 +1534,7 @@ class ProcessPoolBackend:
         start_method: str | None = None,
         retry: RetryPolicy | None = None,
         fault_plan: "faults.FaultPlan | None" = None,
+        memory_budget: int | None = None,
     ) -> None:
         if n_workers is not None and n_workers < 1:
             raise ConfigurationError(
@@ -1523,6 +1584,14 @@ class ProcessPoolBackend:
         self._shm_failures = 0
         self._serial_degraded = False
         self._level_retries: dict[int, int] = {}
+        #: Coordinator side of the memory budget (``None`` = ungoverned);
+        #: sizes the up-front split and the per-worker watchdog share.
+        self.governor = (
+            resources.ResourceGovernor(memory_budget, self.n_workers)
+            if memory_budget is not None
+            else None
+        )
+        self._level_splits: dict[int, int] = {}
         self._executor: ProcessPoolExecutor | None = None
 
     # ------------------------------------------------------------------ lifecycle
@@ -1570,27 +1639,70 @@ class ProcessPoolBackend:
             )
         level = context.level
         retries_before = self._level_retries.get(level, 0)
+        splits_before = self._level_splits.get(level, 0)
         n_shards = self._shard_count(len(candidates))
+        if self.governor is not None and candidates:
+            # The budget may demand a finer split than the CPU count does:
+            # cap every shard's estimated transient footprint at one worker's
+            # share of the budget (minus the shared context each worker maps).
+            n_shards = self.governor.plan_shards(
+                n_shards,
+                costs if costs is not None else [1.0] * len(candidates),
+                bytes_per_cost=self._bytes_per_cost(level),
+                max_shards=len(candidates),
+                context_bytes=resources.estimate_context_bytes(context),
+            )
+            if context.memory_share_bytes is None:
+                context.memory_share_bytes = self.governor.worker_share
         if n_shards <= 1:
             return self._stamp_stats(
-                evaluate_candidates(context, candidates), level, retries_before
+                evaluate_candidates(context, candidates),
+                level,
+                retries_before,
+                splits_before,
             )
         shard_indices = self._shard_indices(n_shards, costs, len(candidates))
         shards = [[candidates[i] for i in indices] for indices in shard_indices]
         outcomes = self._run_shards(
-            _evaluate_level_shard, context, shards, level=level
+            _evaluate_level_shard,
+            context,
+            shards,
+            level=level,
+            combine=_combine_level_outcomes,
         )
         outcome = _merge_indexed_outcomes(shard_indices, shards, outcomes)
-        return self._stamp_stats(outcome, level, retries_before)
+        return self._stamp_stats(outcome, level, retries_before, splits_before)
+
+    def _bytes_per_cost(self, level: int) -> float:
+        """Transient kernel bytes one unit of candidate cost expands into.
+
+        Level-2 costs are instance-pair counts (the kernel's per-pair
+        working set is :data:`_LEVEL2_BYTES_PER_PAIR`); level-``k`` costs
+        are occurrence×instance pair counts whose gathered cell rows grow
+        with the combination arity, mirroring the kernel's own chunk
+        arithmetic in :func:`_anchor_chunks` callers.
+        """
+        if level == 2:
+            return float(_LEVEL2_BYTES_PER_PAIR)
+        return float(16 + 28 * max(2, level))
 
     def _stamp_stats(
-        self, outcome: LevelOutcome, level: int, retries_before: int
+        self,
+        outcome: LevelOutcome,
+        level: int,
+        retries_before: int,
+        splits_before: int,
     ) -> LevelOutcome:
-        """Record this batch's retries and any degradation warnings."""
+        """Record this batch's retries, splits and any degradation warnings."""
         delta = self._level_retries.get(level, 0) - retries_before
         if delta:
             outcome.stats.shard_retries[level] = (
                 outcome.stats.shard_retries.get(level, 0) + delta
+            )
+        splits = self._level_splits.get(level, 0) - splits_before
+        if splits:
+            outcome.stats.shard_splits[level] = (
+                outcome.stats.shard_splits.get(level, 0) + splits
             )
         for message in self.warnings:
             outcome.stats.record_warning(message)
@@ -1643,60 +1755,201 @@ class ProcessPoolBackend:
         payload: Any,
         shards: list[list],
         level: int = 0,
+        combine: Callable[[list], Any] | None = None,
     ) -> list[_R]:
         """Execute one shard batch with retries over the configured transport.
 
         Shards are pure functions of ``(payload, shard_items)``, so the loop
         below may resubmit any failed shard without affecting the others:
-        each retry *round* re-runs only the still-unfinished shards, with
+        each retry *round* re-runs only the still-unfinished work, with
         fresh response blocks and a rebuilt pool where necessary, until every
         shard has a result or one shard has exhausted
         :attr:`RetryPolicy.max_retries` (whose last error then propagates).
         A pool that cannot be obtained at all degrades the whole backend to
         in-process evaluation instead — the results are identical, only the
         parallelism is lost.
+
+        Memory pressure is a separate recovery class.  Work is scheduled as
+        :class:`_ShardPiece`\\ s; a piece failing with ``MemoryError`` or
+        :class:`MemoryBudgetExceeded` is not resubmitted verbatim (a
+        verbatim resubmit of an over-budget shard is guaranteed to die
+        again) but *split in half* via :meth:`_recover_memory`, recursively
+        down to one item, then pushed down a degradation chain.  Splitting
+        requires a ``combine`` to reassemble a shard's piece results in
+        offset order — :meth:`run` passes the level-outcome combiner;
+        without one (``map_shards``) memory failures fall back to the plain
+        bounded retry path.
         """
         if self._serial_degraded:
             return [func(payload, list(shard)) for shard in shards]
         policy = self.retry
-        n_shards = len(shards)
-        results: list[Any] = [None] * n_shards
-        pending = list(range(n_shards))
-        attempts = dict.fromkeys(pending, 0)
+        parts: list[dict[int, Any]] = [{} for _ in shards]
+        pending = [
+            _ShardPiece(shard=index, offset=0, items=list(shard))
+            for index, shard in enumerate(shards)
+        ]
         round_index = 0
         while pending:
+            # Deterministic submission order no matter how pieces were born.
+            pending.sort(key=lambda piece: (piece.shard, piece.offset))
             try:
-                done, failed = self._run_round(func, payload, shards, pending, level)
+                done, failed = self._run_round(func, payload, pending, level)
             except _PoolUnavailable as error:
                 self._degrade_to_serial(error)
-                for index in pending:
-                    results[index] = func(payload, list(shards[index]))
-                return results
-            for index, result in done.items():
-                results[index] = result
+                for piece in pending:
+                    parts[piece.shard][piece.offset] = func(
+                        payload, list(piece.items)
+                    )
+                pending = []
+                break
+            for piece, result in done:
+                parts[piece.shard][piece.offset] = result
             if not failed:
                 break
-            retry: list[int] = []
-            for index, error in failed:
-                attempts[index] += 1
-                if attempts[index] > policy.max_retries:
+            retry: list[_ShardPiece] = []
+            transport_failures = 0
+            for piece, error in failed:
+                if combine is not None and isinstance(
+                    error, (MemoryError, MemoryBudgetExceeded)
+                ):
+                    retry.extend(
+                        self._recover_memory(func, payload, piece, parts, level, error)
+                    )
+                    continue
+                piece.attempts += 1
+                if piece.attempts > policy.max_retries:
                     if isinstance(error, TimeoutError):
                         raise MiningError(
-                            f"shard {index} of level {level} exceeded its "
+                            f"shard {piece.shard} of level {level} exceeded its "
                             f"{policy.shard_timeout}s timeout on all "
-                            f"{attempts[index]} attempts"
+                            f"{piece.attempts} attempts"
                         ) from error
                     raise error
-                retry.append(index)
-            self._level_retries[level] = (
-                self._level_retries.get(level, 0) + len(retry)
-            )
-            pending = sorted(retry)
-            delay = policy.delay(round_index, seed=level)
-            if delay > 0:
-                time.sleep(delay)
+                retry.append(piece)
+                transport_failures += 1
+            if transport_failures:
+                self._level_retries[level] = (
+                    self._level_retries.get(level, 0) + transport_failures
+                )
+                # Backoff only cushions transport trouble; split pieces carry
+                # *less* work than before and should resubmit immediately.
+                delay = policy.delay(round_index, seed=level)
+                if delay > 0:
+                    time.sleep(delay)
+            pending = retry
             round_index += 1
+        results: list[Any] = []
+        for shard_parts in parts:
+            ordered = [shard_parts[offset] for offset in sorted(shard_parts)]
+            results.append(ordered[0] if len(ordered) == 1 else combine(ordered))
         return results
+
+    # --------------------------------------------------------------- memory recovery
+    def _recover_memory(
+        self,
+        func: Callable[[Any, list], Any],
+        payload: Any,
+        piece: _ShardPiece,
+        parts: list[dict[int, Any]],
+        level: int,
+        error: BaseException,
+    ) -> list[_ShardPiece]:
+        """Turn one over-budget piece into smaller/cheaper work; never verbatim.
+
+        The chain, each step output-preserving and recorded as a warning:
+
+        1. **Split in half** while the piece has more than one item — two
+           pieces of roughly half the transient working set each.
+        2. **Shrink ``kernel_chunk_bytes``** (halving, floored at
+           :data:`_CHUNK_SHRINK_FLOOR`) — the vectorized kernel's transient
+           pair buffers are proportional to the chunk cap.
+        3. **Force occurrence summarisation** where the miner declared it
+           legal (``LevelContext.allow_summarise``) — slims what the worker
+           holds while packing its response.
+        4. **Evaluate in-process** — the coordinator usually has more
+           headroom than a budget-watched worker, and the watchdog never
+           arms outside worker scope, so this step cannot loop.  If even
+           that exceeds memory (or an injected memory fault is still armed,
+           proving the plan wanted the floor reached), the run fails with a
+           clean :class:`MiningError`.
+        """
+        self._level_splits[level] = self._level_splits.get(level, 0) + 1
+        if len(piece.items) > 1:
+            half = (len(piece.items) + 1) // 2
+            self._warn(
+                f"shard {piece.shard} of level {level} ran out of its memory "
+                f"share ({error}); split into pieces of {half} and "
+                f"{len(piece.items) - half} candidates and resubmitted"
+            )
+            return [
+                _ShardPiece(piece.shard, piece.offset, piece.items[:half]),
+                _ShardPiece(piece.shard, piece.offset + half, piece.items[half:]),
+            ]
+        if self._shrink_kernel_chunks(payload, level):
+            return [piece]
+        if self._force_summaries(payload, level):
+            return [piece]
+        self._warn(
+            f"shard {piece.shard} of level {level} is over budget at a single "
+            "candidate; evaluating it in-process without a watchdog"
+        )
+        try:
+            if self._fault_plan:
+                faults.apply_worker_fault(
+                    self._fault_plan.take(faults.MEMORY_KINDS, level, piece.shard)
+                )
+            parts[piece.shard][piece.offset] = func(payload, list(piece.items))
+        except (MemoryError, MemoryBudgetExceeded) as final_error:
+            raise MiningError(
+                f"shard {piece.shard} of level {level} stayed over the memory "
+                "budget after splitting to a single candidate, shrinking "
+                "kernel chunks and dropping to in-process evaluation"
+            ) from final_error
+        return []
+
+    def _shrink_kernel_chunks(self, payload: Any, level: int) -> bool:
+        """Halve the level's kernel chunk cap; False once at/below the floor.
+
+        Chunking is output-preserving by construction (anchor-granular
+        chunks concatenate to the unchunked result, see
+        :func:`_anchor_chunks`), so mutating the shared context's config is
+        safe — every subsequent round, on any transport, re-ships the
+        payload and picks the new cap up.
+        """
+        if not isinstance(payload, LevelContext):
+            return False
+        config = payload.config
+        if not config.vectorized:
+            return False
+        current = config.kernel_chunk_bytes
+        shrunk = (
+            64 * 1024 * 1024 // 2 if current is None else current // 2
+        )
+        if shrunk < _CHUNK_SHRINK_FLOOR:
+            return False
+        payload.config = replace(config, kernel_chunk_bytes=shrunk)
+        self._warn(
+            f"level {level} over budget at a single candidate; kernel chunk "
+            f"cap shrunk to {shrunk} bytes"
+        )
+        return True
+
+    def _force_summaries(self, payload: Any, level: int) -> bool:
+        """Turn dead-end summarisation on early, where the miner allows it."""
+        if not isinstance(payload, LevelContext):
+            return False
+        if (
+            not payload.allow_summarise
+            or payload.summarise_dead_ends
+            or payload.final_level
+        ):
+            return False
+        payload.summarise_dead_ends = True
+        self._warn(
+            f"level {level} still over budget; forcing dead-end occurrence "
+            "summarisation to slim worker payloads"
+        )
+        return True
 
     # ------------------------------------------------------------- fault handling
     def _warn(self, message: str) -> None:
@@ -1780,22 +2033,25 @@ class ProcessPoolBackend:
         self,
         func: Callable[[Any, list], _R],
         payload: Any,
-        shards: list[list],
-        pending: list[int],
+        pending: list[_ShardPiece],
         level: int,
-    ) -> tuple[dict[int, _R], list[tuple[int, BaseException]]]:
-        """Submit every pending shard once; collect successes and failures.
+    ) -> tuple[
+        list[tuple[_ShardPiece, _R]], list[tuple[_ShardPiece, BaseException]]
+    ]:
+        """Submit every pending piece once; collect successes and failures.
 
-        Returns ``(done, failed)`` keyed/tagged by *global* shard index.
-        Failures are only the retryable kinds (worker death, timeout,
-        transport errors); anything else — a genuine evaluation bug —
-        propagates immediately.
+        Returns ``(done, failed)`` tagged by piece.  Failures are only the
+        retryable kinds (worker death, timeout, transport errors, memory
+        pressure); anything else — a genuine evaluation bug — propagates
+        immediately.  Fault directives are looked up by the piece's
+        *original* shard index, so a plan armed at ``shard=N`` follows N
+        through every split.
         """
         global _FORK_PAYLOAD
         executor, ephemeral = self._round_executor(len(pending), level)
         use_shm = self.shared_memory_active
         names: dict[int, str | None] | None = (
-            {index: shm.generate_block_name() for index in pending}
+            {position: shm.generate_block_name() for position in range(len(pending))}
             if use_shm
             else None
         )
@@ -1815,29 +2071,29 @@ class ProcessPoolBackend:
                     shm.cleanup_blocks([n for n in names.values() if n])
                     names = None
             futures = {}
-            for index in pending:
-                directive = self._worker_fault(level, index)
+            for position, piece in enumerate(pending):
+                directive = self._worker_fault(level, piece.shard)
                 if ephemeral and names is not None:
                     future = executor.submit(
-                        _call_forked_shared, shards[index], names[index], directive
+                        _call_forked_shared, piece.items, names[position], directive
                     )
                 elif ephemeral:
-                    future = executor.submit(_call_forked, shards[index], directive)
+                    future = executor.submit(_call_forked, piece.items, directive)
                 elif names is not None:
                     future = executor.submit(
                         _call_pooled_shared,
                         func,
                         request,
-                        shards[index],
-                        names[index],
+                        piece.items,
+                        names[position],
                         directive,
                     )
                 else:
                     future = executor.submit(
-                        _call_plain, func, payload, shards[index], directive
+                        _call_plain, func, payload, piece.items, directive
                     )
-                futures[index] = future
-            done, failed, teardown = self._collect_round(futures, names)
+                futures[position] = future
+            done, failed, teardown = self._collect_round(futures, names, pending)
             return done, failed
         except BaseException:
             teardown = True
@@ -1866,7 +2122,12 @@ class ProcessPoolBackend:
         self,
         futures: "dict[int, Any]",
         names: dict[int, str | None] | None,
-    ) -> tuple[dict[int, Any], list[tuple[int, BaseException]], bool]:
+        pending: list[_ShardPiece],
+    ) -> tuple[
+        list[tuple[_ShardPiece, Any]],
+        list[tuple[_ShardPiece, BaseException]],
+        bool,
+    ]:
         """Gather one round's results; classify failures as retryable or not.
 
         Returns ``(done, failed, teardown)`` where ``teardown`` demands the
@@ -1875,14 +2136,15 @@ class ProcessPoolBackend:
         how many executor waves the round needs, since queued shards wait for
         a worker before their own clock meaningfully starts.
         """
-        done: dict[int, Any] = {}
-        failed: list[tuple[int, BaseException]] = []
+        done: list[tuple[_ShardPiece, Any]] = []
+        failed: list[tuple[_ShardPiece, BaseException]] = []
         teardown = False
         deadline = None
         if self.retry.shard_timeout is not None:
             waves = math.ceil(len(futures) / max(1, self.n_workers))
             deadline = time.monotonic() + self.retry.shard_timeout * max(1, waves)
-        for index, future in futures.items():
+        for position, future in futures.items():
+            piece = pending[position]
             try:
                 if deadline is None:
                     result = future.result()
@@ -1892,17 +2154,22 @@ class ProcessPoolBackend:
             # TimeoutError subclasses OSError (PEP 3151) and must win the
             # match; BrokenProcessPool is a RuntimeError.
             except TimeoutError as error:
-                failed.append((index, error))
+                failed.append((piece, error))
                 teardown = True
                 continue
             except BrokenProcessPool as error:
-                failed.append((index, error))
+                failed.append((piece, error))
                 teardown = True
+                continue
+            except (MemoryError, MemoryBudgetExceeded) as error:
+                # Memory pressure: the shard is too big, not the transport
+                # too flaky — _run_shards routes it to split-and-degrade.
+                failed.append((piece, error))
                 continue
             except (pickle.PickleError, EOFError, OSError) as error:
                 # Transport-shaped failures: the shard never really ran to a
                 # usable result, resubmitting it is safe.
-                failed.append((index, error))
+                failed.append((piece, error))
                 continue
             if isinstance(result, shm.SharedFallback):
                 self._note_shm_failure("worker response block allocation failed")
@@ -1911,18 +2178,18 @@ class ProcessPoolBackend:
                 if names is not None:
                     # load_shared unlinks the block itself (success *or*
                     # failure), so the finally must not unlink it again.
-                    names[index] = None
+                    names[position] = None
                 try:
                     result = shm.load_shared(result)
                 except (OSError, ValueError) as error:
                     self._note_shm_failure(
                         f"response block resolve failed: {error}"
                     )
-                    failed.append((index, error))
+                    failed.append((piece, error))
                     continue
             if names is not None:
-                names[index] = None
-            done[index] = result
+                names[position] = None
+            done.append((piece, result))
         return done, failed, teardown
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
@@ -1932,6 +2199,22 @@ class ProcessPoolBackend:
             f"shards_per_worker={self.shards_per_worker}, "
             f"shared_memory={self.shared_memory})"
         )
+
+
+def _combine_level_outcomes(chunks: list[LevelOutcome]) -> LevelOutcome:
+    """Reassemble one shard's piece outcomes (already in offset order).
+
+    Pieces partition the shard's candidate list contiguously, so their node
+    lists concatenate back into exact shard order and their counters add —
+    evaluation counters are strictly per-candidate, which is what makes the
+    split invisible to :func:`_merge_indexed_outcomes` and to parity.
+    """
+    nodes: list[CombinationNode] = []
+    stats = MiningStatistics()
+    for chunk in chunks:
+        nodes.extend(chunk.nodes)
+        stats.merge_shard(chunk.stats)
+    return LevelOutcome(nodes=nodes, stats=stats)
 
 
 def _merge_indexed_outcomes(
@@ -2008,6 +2291,7 @@ def backend_from_config(config: MiningConfig) -> ExecutionBackend:
             n_workers=config.n_workers,
             shared_memory=config.shared_memory,
             retry=getattr(config, "retry", None),
+            memory_budget=getattr(config, "memory_budget_bytes", None),
         )
     raise ConfigurationError(  # pragma: no cover - caught by MiningConfig validation
         f"unknown engine {config.engine!r}; known: 'serial', 'process'"

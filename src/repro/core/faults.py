@@ -32,6 +32,14 @@ Supported kinds:
     The worker's shared-memory response packing fails with ``OSError``, as
     if ``/dev/shm`` allocation were exhausted; the result falls back to the
     pickle return path and the coordinator counts a transport failure.
+``oom``
+    The worker raises ``MemoryError`` before evaluating the shard — the
+    allocator-failure shape the memory governor must recover from by
+    splitting the shard, without actually exhausting RAM in CI.
+``membudget``
+    The worker raises :class:`~repro.exceptions.MemoryBudgetExceeded`
+    before evaluating — the watchdog-abort shape, testable at exact
+    coordinates regardless of real resident-set sizes.
 ``pool``
     Coordinator-side: constructing/obtaining the executor for the matching
     level raises ``OSError`` (resource exhaustion), driving the
@@ -54,12 +62,13 @@ import pickle
 import time
 from dataclasses import dataclass
 
-from ..exceptions import ConfigurationError
+from ..exceptions import ConfigurationError, MemoryBudgetExceeded
 
 __all__ = [
     "FaultSpec",
     "FaultPlan",
     "WORKER_KINDS",
+    "MEMORY_KINDS",
     "COORDINATOR_KINDS",
     "install_plan",
     "active_plan",
@@ -69,7 +78,11 @@ __all__ = [
 
 #: Fault kinds executed inside a worker process, as ``(kind, seconds)``
 #: directives attached to the shard's submit arguments.
-WORKER_KINDS = ("crash", "hang", "pickle", "shm")
+WORKER_KINDS = ("crash", "hang", "pickle", "shm", "oom", "membudget")
+#: The subset of worker kinds that surface as memory pressure; the engine's
+#: serial degradation fallback consults exactly these so a ``times=N`` plan
+#: can drive recovery all the way to the one-candidate floor.
+MEMORY_KINDS = ("oom", "membudget")
 #: Fault kinds executed on the coordinator itself.
 COORDINATOR_KINDS = ("pool", "exit")
 _ALL_KINDS = WORKER_KINDS + COORDINATOR_KINDS
@@ -253,4 +266,8 @@ def apply_worker_fault(directive: tuple[str, float] | None) -> bool:
         raise pickle.PicklingError("injected pickling failure")
     if kind == "shm":
         return True
+    if kind == "oom":
+        raise MemoryError("injected memory exhaustion")
+    if kind == "membudget":
+        raise MemoryBudgetExceeded("injected memory-budget abort")
     return False

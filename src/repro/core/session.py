@@ -947,7 +947,20 @@ class MiningSession:
 
         A retaining session never allows the workers to summarise occurrence
         lists (neither at a known-final level nor at dead-end nodes): a
-        future append may extend any stored occurrence.
+        future append may extend any stored occurrence.  ``allow_summarise``
+        mirrors the exact ``summarise_dead_ends`` predicate so the engine's
+        memory degradation chain can flip summarisation on early *only*
+        where this session would have permitted it anyway — never for a
+        retaining session.
+
+        Memory governance needs nothing extra here: the process backend
+        stamps the per-worker budget share onto the context itself, and the
+        checkpoint interplay is free by construction — an over-budget level
+        is retried *inside* ``backend.run``, so :meth:`mine` only reaches
+        its post-level ``_write_checkpoint`` once the level has fully
+        recovered, and a level that exhausts every degradation step raises
+        out of ``backend.run`` with the previous level's checkpoint already
+        durable on disk.
         """
         config = self.config
         if config.vectorized and config.kernel_min_pairs is None:
@@ -974,6 +987,12 @@ class MiningSession:
             pair_patterns=pair_patterns,
             final_level=final_level,
             summarise_dead_ends=(
+                not self.retain_occurrences
+                and not final_level
+                and level >= 3
+                and config.pruning.uses_transitivity
+            ),
+            allow_summarise=(
                 not self.retain_occurrences
                 and not final_level
                 and level >= 3

@@ -76,6 +76,7 @@ __all__ = [
     "shared_memory_available",
     "generate_block_name",
     "dumps_shared",
+    "payload_nbytes",
     "pack_request",
     "pack_shared",
     "load_shared",
@@ -367,6 +368,21 @@ def dumps_shared(obj: Any, store: SharedArrayStore) -> bytes:
     buffer = io.BytesIO()
     _SharedPickler(buffer, store).dump(obj)
     return buffer.getvalue()
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Measured bytes of one packed request payload — without allocating.
+
+    Runs :func:`dumps_shared` against an unsealed throwaway store:
+    :meth:`SharedArrayStore.add` only records layout (no block exists until
+    :meth:`~SharedArrayStore.seal`), so this prices the columnar arrays plus
+    the residual pickle blob a worker would materialise, at zero
+    shared-memory cost.  The memory governor uses it to subtract the shared
+    context from each worker's budget share.
+    """
+    store = SharedArrayStore(name="dry-run")
+    blob = dumps_shared(payload, store)
+    return store.nbytes + len(blob)
 
 
 @dataclass(frozen=True)

@@ -58,6 +58,12 @@ class MiningStatistics:
     #: the process engine retried crashed/hung/failed shards; the mined
     #: pattern set is unaffected (retries are idempotent).
     shard_retries: dict[int, int] = field(default_factory=dict)
+    #: Memory-pressure recoveries per level (level -> count): each split of
+    #: an over-budget shard piece and each degradation step (chunk shrink,
+    #: forced summarisation, in-process fallback) counts one.  Non-empty
+    #: only under ``memory_budget_bytes``; the mined pattern set is
+    #: unaffected (every recovery is output-preserving).
+    shard_splits: dict[int, int] = field(default_factory=dict)
     #: Degradation warnings recorded during the run (shared-memory transport
     #: disabled, process pool degraded to serial, ...).  Deduplicated.
     warnings: list[str] = field(default_factory=list)
@@ -97,6 +103,8 @@ class MiningStatistics:
         # lack the fields) still absorb cleanly.
         for level, amount in getattr(other, "shard_retries", {}).items():
             self.shard_retries[level] = self.shard_retries.get(level, 0) + amount
+        for level, amount in getattr(other, "shard_splits", {}).items():
+            self.shard_splits[level] = self.shard_splits.get(level, 0) + amount
         for message in getattr(other, "warnings", ()):
             self.record_warning(message)
 
@@ -158,6 +166,7 @@ class MiningStatistics:
             "level_seconds": dict(self.level_seconds),
             "correlation_seconds": self.correlation_seconds,
             "shard_retries": dict(self.shard_retries),
+            "shard_splits": dict(self.shard_splits),
             "warnings": list(self.warnings),
             "total_patterns": self.total_patterns,
         }

@@ -65,6 +65,20 @@ class SessionFormatError(DataError, MiningError):
         self.version = version
 
 
+class MemoryBudgetExceeded(MiningError):
+    """Raised when a worker's shard working set outgrows its memory share.
+
+    The process engine's watchdog (:mod:`repro.core.resources`) polls the
+    worker's resident-set growth while a shard evaluates and raises this —
+    cleanly, from Python — before the kernel's OOM killer would have fired.
+    The coordinator treats it as a *recoverable* signal: the shard is split
+    in half and resubmitted (recursively, down to a one-candidate floor),
+    then degraded further (smaller kernel chunks, forced summarisation where
+    legal, in-process evaluation) before the run is allowed to fail.  Kept
+    picklable (message-only) so it survives the process-pool boundary.
+    """
+
+
 class RepresentationOverflowError(MiningError):
     """Raised when occurrence evidence no longer fits its storage dtype.
 

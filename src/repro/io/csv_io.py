@@ -9,6 +9,7 @@ column per series — which is how the public releases of the paper's datasets
 from __future__ import annotations
 
 import csv
+import math
 from pathlib import Path
 
 import numpy as np
@@ -73,11 +74,27 @@ def read_time_series_csv(path: str | Path) -> TimeSeriesSet:
                     f"{path}:{line_number}: expected {len(names) + 1} columns, got {len(row)}"
                 )
             try:
-                timestamps.append(float(row[0]))
-                for column, value in zip(columns, row[1:]):
-                    column.append(float(value))
+                timestamp = float(row[0])
+                parsed = [float(value) for value in row[1:]]
             except ValueError as error:
                 raise DataError(f"{path}:{line_number}: {error}") from None
+            # Reject non-finite cells here, with file:line context, instead
+            # of letting a NaN timestamp defeat every downstream ordering
+            # check (NaN compares False against everything) and surface as
+            # an inscrutable failure deep in the relation kernel.
+            if not math.isfinite(timestamp):
+                raise DataError(
+                    f"{path}:{line_number}: non-finite timestamp {row[0]!r}"
+                )
+            for name, value, raw in zip(names, parsed, row[1:]):
+                if not math.isfinite(value):
+                    raise DataError(
+                        f"{path}:{line_number}: non-finite value {raw!r} "
+                        f"in series {name!r}"
+                    )
+            timestamps.append(timestamp)
+            for column, value in zip(columns, parsed):
+                column.append(value)
     if not timestamps:
         raise DataError(f"{path}: no data rows")
     grid = np.asarray(timestamps)

@@ -13,6 +13,7 @@ of the FTPMfTS process (Fig. 2 of the paper).
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
@@ -43,6 +44,14 @@ class EventInstance:
     symbol: str
 
     def __post_init__(self) -> None:
+        # Checked explicitly because NaN would slip past the `<` below
+        # (every comparison with NaN is False) and corrupt the relation
+        # kernel's endpoint arithmetic far from the bad input.
+        if not (math.isfinite(self.start) and math.isfinite(self.end)):
+            raise DataError(
+                f"EventInstance for {self.series}:{self.symbol} has "
+                f"non-finite interval [{self.start}, {self.end}]"
+            )
         if self.end < self.start:
             raise DataError(
                 f"EventInstance for {self.series}:{self.symbol} has end "

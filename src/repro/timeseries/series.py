@@ -54,6 +54,11 @@ class TimeSeries:
             )
         if len(self.timestamps) == 0:
             raise DataError(f"series {self.name!r}: empty series")
+        # Non-finite check first: NaN passes every ordering comparison below
+        # (all comparisons with NaN are False), so without it a NaN-laced
+        # grid would sail through as "strictly increasing".
+        if not np.all(np.isfinite(self.timestamps)):
+            raise DataError(f"series {self.name!r}: timestamps must be finite")
         diffs = np.diff(self.timestamps)
         if np.any(diffs <= 0):
             raise DataError(f"series {self.name!r}: timestamps must be strictly increasing")

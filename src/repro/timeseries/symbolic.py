@@ -13,6 +13,7 @@ collection of all symbolic series forms the symbolic database ``DSYB``
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass, field
@@ -43,6 +44,14 @@ class SymbolInterval:
         return self.end - self.start
 
     def __post_init__(self) -> None:
+        # math.isfinite also rejects NaN, which the `<` check alone would
+        # accept (NaN comparisons are always False) and which would then
+        # poison every duration/overlap computation downstream.
+        if not (math.isfinite(self.start) and math.isfinite(self.end)):
+            raise DataError(
+                f"SymbolInterval bounds must be finite, got "
+                f"[{self.start}, {self.end}]"
+            )
         if self.end < self.start:
             raise DataError(
                 f"SymbolInterval end ({self.end}) precedes start ({self.start})"
@@ -60,6 +69,10 @@ class SymbolicSeries:
 
     def __post_init__(self) -> None:
         self.timestamps = np.asarray(self.timestamps, dtype=float)
+        if not np.all(np.isfinite(self.timestamps)):
+            raise DataError(
+                f"symbolic series {self.name!r}: timestamps must be finite"
+            )
         if len(self.timestamps) != len(self.symbols):
             raise DataError(
                 f"symbolic series {self.name!r}: {len(self.timestamps)} timestamps "
